@@ -1,0 +1,185 @@
+// Command t3sim regenerates the paper's tables and figures from the
+// simulator. Each experiment prints the same rows/series the paper reports:
+//
+//	t3sim -exp fig16          # sub-layer speedups (the headline result)
+//	t3sim -exp fig18          # data-movement reductions
+//	t3sim -exp all            # everything (several minutes)
+//	t3sim -exp fig16 -json    # machine-readable rows (times in picoseconds)
+//	t3sim -list               # available experiments
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"t3sim"
+)
+
+// renderable is any experiment result that can print itself.
+type renderable interface{ Render() string }
+
+// textResult wraps plain-text results (the tables) so they fit the same
+// interface and JSON shape.
+type textResult struct {
+	Text string
+}
+
+// Render implements renderable.
+func (t textResult) Render() string { return t.Text }
+
+// experiment is one runnable unit.
+type experiment struct {
+	name string
+	desc string
+	run  func(ctx *context) (renderable, error)
+}
+
+// context shares the memoizing evaluator across experiments in one process.
+type context struct {
+	setup t3sim.ExperimentSetup
+	ev    *t3sim.Evaluator
+}
+
+func (c *context) evaluator() (*t3sim.Evaluator, error) {
+	if c.ev == nil {
+		ev, err := t3sim.NewEvaluator(c.setup)
+		if err != nil {
+			return nil, err
+		}
+		c.ev = ev
+	}
+	return c.ev, nil
+}
+
+// text adapts a string-producing experiment.
+func text(s string) (renderable, error) { return textResult{Text: s}, nil }
+
+// wrap adapts a typed result + error to the renderable interface.
+func wrap[T renderable](v T, err error) (renderable, error) {
+	if err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// withEval builds a runner that needs the shared evaluator.
+func withEval[T renderable](f func(*t3sim.Evaluator) (T, error)) func(*context) (renderable, error) {
+	return func(c *context) (renderable, error) {
+		ev, err := c.evaluator()
+		if err != nil {
+			return nil, err
+		}
+		return wrap(f(ev))
+	}
+}
+
+var experimentList = []experiment{
+	{"table1", "simulation setup (Table 1)", func(c *context) (renderable, error) {
+		return text(t3sim.Table1(c.setup))
+	}},
+	{"table2", "studied models (Table 2)", func(c *context) (renderable, error) {
+		return text(t3sim.Table2())
+	}},
+	{"table3", "qualitative comparison (Table 3)", func(c *context) (renderable, error) {
+		return text(t3sim.Table3())
+	}},
+	{"fig4", "iteration time breakdown (Figure 4)", func(c *context) (renderable, error) {
+		return wrap(t3sim.Fig4(c.setup))
+	}},
+	{"fig6", "CU-sharing study (Figure 6)", withEval(t3sim.Fig6)},
+	{"fig14", "reduce-scatter simulation validation (Figure 14)", func(c *context) (renderable, error) {
+		return wrap(t3sim.Fig14(c.setup))
+	}},
+	{"fig15", "sub-layer runtime distribution (Figure 15)", withEval(t3sim.Fig15)},
+	{"fig16", "sub-layer speedups (Figure 16)", withEval(t3sim.Fig16)},
+	{"fig16-large", "large-model sub-layer speedups (§6.4)", withEval(t3sim.Fig16Large)},
+	{"fig17", "DRAM traffic timelines (Figure 17)", func(c *context) (renderable, error) {
+		return wrap(t3sim.Fig17(c.setup))
+	}},
+	{"fig18", "DRAM access breakdown (Figure 18)", withEval(t3sim.Fig18)},
+	{"fig19", "end-to-end speedups (Figure 19)", withEval(t3sim.Fig19)},
+	{"fig19-large", "large-model end-to-end speedups (§6.4)", withEval(t3sim.Fig19Large)},
+	{"fig20", "future hardware with 2x compute (Figure 20)", withEval(t3sim.Fig20)},
+	{"generation", "token-generation phase study (§7.3)", withEval(t3sim.Generation)},
+	{"mirror", "mirror-methodology validation (§5.1.1)", func(c *context) (renderable, error) {
+		return wrap(t3sim.MirrorValidation(c.setup))
+	}},
+	{"coarse-overlap", "coarse-grained DP contention study (§3.2.2/§7.2)", func(c *context) (renderable, error) {
+		return wrap(t3sim.CoarseOverlap(c.setup))
+	}},
+	{"layer", "DES vs analytic full-layer cross-validation", func(c *context) (renderable, error) {
+		return wrap(t3sim.LayerValidation(c.setup))
+	}},
+	{"ablation-arb", "MC arbitration policy sweep (§4.5)", withEval(t3sim.AblationArbitration)},
+	{"ablation-nmc", "NMC op-and-store cost sweep (§7.4)", withEval(t3sim.AblationNMCCost)},
+	{"ablation-dma", "DMA block granularity sweep (§4.2.2)", withEval(t3sim.AblationDMABlock)},
+	{"ablation-link", "link bandwidth sweep (§7.8 multi-node regime)", withEval(t3sim.AblationLinkBandwidth)},
+	{"ablation-dram", "DRAM timing model fidelity (flat vs bank-group)", withEval(t3sim.AblationDRAMModel)},
+	{"ablation-pipeline", "producer stage schedule (read-then-compute vs double-buffered)", withEval(t3sim.AblationGEMMPipeline)},
+}
+
+func main() {
+	exp := flag.String("exp", "", "experiment to run (see -list); 'all' runs everything")
+	list := flag.Bool("list", false, "list available experiments")
+	timing := flag.Bool("time", false, "print wall-clock time per experiment")
+	asJSON := flag.Bool("json", false, "emit machine-readable JSON (times are picoseconds)")
+	flag.Parse()
+
+	if *list || *exp == "" {
+		names := make([]string, 0, len(experimentList))
+		for _, e := range experimentList {
+			names = append(names, fmt.Sprintf("  %-14s %s", e.name, e.desc))
+		}
+		sort.Strings(names)
+		fmt.Println("usage: t3sim -exp <name>\n\nexperiments:")
+		fmt.Println(strings.Join(names, "\n"))
+		fmt.Println("  all            run every experiment")
+		if *exp == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	ctx := &context{setup: t3sim.DefaultExperimentSetup()}
+	run := func(e experiment) {
+		start := time.Now()
+		out, err := e.run(ctx)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "t3sim: %s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(map[string]any{"experiment": e.name, "result": out}); err != nil {
+				fmt.Fprintf(os.Stderr, "t3sim: %s: %v\n", e.name, err)
+				os.Exit(1)
+			}
+		} else {
+			fmt.Println(out.Render())
+		}
+		if *timing {
+			fmt.Fprintf(os.Stderr, "[%s took %v]\n", e.name, time.Since(start).Round(time.Millisecond))
+		}
+	}
+
+	if *exp == "all" {
+		for _, e := range experimentList {
+			run(e)
+		}
+		return
+	}
+	for _, e := range experimentList {
+		if e.name == *exp {
+			run(e)
+			return
+		}
+	}
+	fmt.Fprintf(os.Stderr, "t3sim: unknown experiment %q (use -list)\n", *exp)
+	os.Exit(2)
+}

@@ -1,0 +1,195 @@
+// Command t3sweep runs custom fused GEMM→collective sweeps and emits one
+// CSV row per configuration — the quick-experiment companion to cmd/t3sim's
+// fixed paper figures.
+//
+//	t3sweep -m 8192 -n 4096 -k 512 -devices 4,8,16
+//	t3sweep -m 8192 -n 4096 -k 512 -devices 8 -links 150,75,37.5 -arb mca
+//	t3sweep -collective direct -devices 8
+//
+// Output columns: devices, link_gbps, cus, arbitration, collective,
+// gemm_us, collective_done_us, done_us, speedup_vs_sequential, dram_mib,
+// link_mib, tracker_high_water.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"t3sim"
+)
+
+func main() {
+	var (
+		m     = flag.Int("m", 8192, "GEMM M (rows of the output)")
+		n     = flag.Int("n", 4096, "GEMM N (columns of the output)")
+		k     = flag.Int("k", 512, "GEMM K per device (already sliced)")
+		elem  = flag.Int("elem", 2, "element size in bytes (2 = FP16)")
+		devs  = flag.String("devices", "8", "comma-separated device counts")
+		links = flag.String("links", "150", "comma-separated bidirectional link GB/s")
+		cus   = flag.String("cus", "80", "comma-separated GPU CU counts")
+		arb   = flag.String("arb", "mca", "arbitration: rr | mca | cf")
+		coll  = flag.String("collective", "rs", "collective: rs | direct | ag | a2a")
+		hdr   = flag.Bool("header", true, "print the CSV header")
+	)
+	flag.Parse()
+
+	arbitration, err := parseArb(*arb)
+	if err != nil {
+		fail(err)
+	}
+	collective, err := parseCollective(*coll)
+	if err != nil {
+		fail(err)
+	}
+	deviceList, err := parseInts(*devs)
+	if err != nil {
+		fail(fmt.Errorf("bad -devices: %w", err))
+	}
+	linkList, err := parseFloats(*links)
+	if err != nil {
+		fail(fmt.Errorf("bad -links: %w", err))
+	}
+	cuList, err := parseInts(*cus)
+	if err != nil {
+		fail(fmt.Errorf("bad -cus: %w", err))
+	}
+
+	grid, err := t3sim.NewGrid(
+		t3sim.GEMMShape{M: *m, N: *n, K: *k, ElemBytes: t3sim.Bytes(*elem)},
+		t3sim.DefaultTiling())
+	if err != nil {
+		fail(err)
+	}
+
+	if *hdr {
+		fmt.Println("devices,link_gbps,cus,arbitration,collective,gemm_us,collective_done_us,done_us,speedup_vs_sequential,dram_mib,link_mib,tracker_high_water")
+	}
+	for _, nc := range cuList {
+		for _, lg := range linkList {
+			for _, nd := range deviceList {
+				if err := runOne(grid, nd, lg, nc, arbitration, collective, *arb, *coll); err != nil {
+					fail(err)
+				}
+			}
+		}
+	}
+}
+
+func runOne(grid t3sim.GEMMGrid, devices int, linkGBps float64, cus int,
+	arb t3sim.Arbitration, coll t3sim.FusedCollective, arbName, collName string) error {
+	gpu := t3sim.DefaultGPUConfig()
+	gpu.CUs = cus
+	link := t3sim.DefaultLinkConfig()
+	link.LinkBandwidth = t3sim.Bandwidth(linkGBps / 2 * 1e9) // per direction
+
+	opts := t3sim.FusedOptions{
+		GPU:         gpu,
+		Memory:      t3sim.DefaultMemoryConfig(),
+		Link:        link,
+		Tracker:     t3sim.TrackerConfig{Sets: 256, Ways: 64, MaxWFsPerWG: 8},
+		Devices:     devices,
+		Grid:        grid,
+		Collective:  coll,
+		Arbitration: arb,
+	}
+	var (
+		res t3sim.FusedResult
+		err error
+	)
+	switch coll {
+	case t3sim.RingAllGatherCollective:
+		res, err = t3sim.RunFusedGEMMAG(opts)
+	case t3sim.AllToAllCollective:
+		res, err = t3sim.RunFusedGEMMAllToAll(opts)
+	default:
+		res, err = t3sim.RunFusedGEMMRS(opts)
+	}
+	if err != nil {
+		return err
+	}
+
+	// Sequential reference: isolated GEMM plus the serialized collective.
+	seq := res.GEMMDone + sequentialWire(grid, devices, link, coll)
+
+	fmt.Printf("%d,%.1f,%d,%s,%s,%.3f,%.3f,%.3f,%.3f,%.1f,%.1f,%d\n",
+		devices, linkGBps, cus, arbName, collName,
+		res.GEMMDone.Micros(), res.CollectiveDone.Micros(), res.Done.Micros(),
+		float64(seq)/float64(res.Done),
+		res.DRAM.TotalBytes().MiBf(), res.LinkBytes.MiBf(),
+		res.TrackerMaxLive)
+	return nil
+}
+
+// sequentialWire estimates the serialized collective's wire time.
+func sequentialWire(grid t3sim.GEMMGrid, devices int, link t3sim.LinkConfig, coll t3sim.FusedCollective) t3sim.Time {
+	out := grid.Shape.OutputBytes()
+	switch coll {
+	case t3sim.RingAllGatherCollective:
+		// Gathering n-1 foreign shards of this size.
+		return link.LinkBandwidth.TransferTime(out * t3sim.Bytes(devices-1))
+	case t3sim.AllToAllCollective:
+		return link.LinkBandwidth.TransferTime(out / t3sim.Bytes(devices) * t3sim.Bytes(devices-1))
+	default: // reduce-scatter variants
+		return link.LinkBandwidth.TransferTime(out / t3sim.Bytes(devices) * t3sim.Bytes(devices-1))
+	}
+}
+
+func parseArb(s string) (t3sim.Arbitration, error) {
+	switch s {
+	case "rr":
+		return t3sim.ArbRoundRobin, nil
+	case "mca":
+		return t3sim.ArbMCA, nil
+	case "cf":
+		return t3sim.ArbComputeFirst, nil
+	default:
+		return 0, fmt.Errorf("t3sweep: unknown arbitration %q (rr|mca|cf)", s)
+	}
+}
+
+func parseCollective(s string) (t3sim.FusedCollective, error) {
+	switch s {
+	case "rs":
+		return t3sim.RingReduceScatterCollective, nil
+	case "direct":
+		return t3sim.DirectReduceScatterCollective, nil
+	case "ag":
+		return t3sim.RingAllGatherCollective, nil
+	case "a2a":
+		return t3sim.AllToAllCollective, nil
+	default:
+		return 0, fmt.Errorf("t3sweep: unknown collective %q (rs|direct|ag|a2a)", s)
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "t3sweep: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,56 @@
+// Endtoend: estimate full-iteration training and prompt-inference speedups
+// for one model (Figure 19 style): the analytical iteration breakdown is
+// combined with simulated fused sub-layer times.
+//
+// Run with:
+//
+//	go run ./examples/endtoend [model]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"t3sim"
+)
+
+func main() {
+	name := "Mega-GPT-2"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	model, err := t3sim.ModelByName(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	setup := t3sim.DefaultExperimentSetup()
+	ev, err := t3sim.NewEvaluator(setup)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hw := t3sim.DefaultHW()
+
+	for _, tp := range model.TPDegrees {
+		// Simulate the fused time of every AR-feeding sub-layer once.
+		fused := map[t3sim.SubLayerKind]t3sim.Time{}
+		for _, kind := range t3sim.AllSubLayers() {
+			r, err := ev.Evaluate(t3sim.SubCase{Model: model, Kind: kind, TP: tp})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fused[kind] = r.T3MCA - r.AG // fused GEMM-RS; AG stays serialized
+		}
+		for _, phase := range []t3sim.ExecutionPhase{t3sim.Training, t3sim.PromptInference} {
+			it, err := t3sim.NewIterationModel(model, tp, phase, hw)
+			if err != nil {
+				log.Fatal(err)
+			}
+			base := it.Total()
+			with := it.WithSubLayerTimes(fused)
+			fmt.Printf("%s TP=%d %-17v baseline %10v -> T3-MCA %10v (%.1f%% faster, comm was %.0f%% of time)\n",
+				model.Name, tp, phase, base, with,
+				100*(float64(base)/float64(with)-1), 100*it.CommFraction())
+		}
+	}
+}

@@ -1,0 +1,48 @@
+// Futurehw: a §7.5-style what-if — how do T3-MCA's benefits change when
+// compute FLOPS scale 2x and 4x faster than the network? Compute-dominated
+// sub-layers benefit more from overlap as they get faster; communication-
+// bound ones see their exposed communication grow.
+//
+// Run with:
+//
+//	go run ./examples/futurehw
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"t3sim"
+)
+
+func main() {
+	model, err := t3sim.ModelByName("T-NLG")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("T3-MCA speedups for %s sub-layers as compute scales (network fixed)\n\n", model.Name)
+	fmt.Printf("%-10s %-4s %10s %10s %10s\n", "sub-layer", "TP", "1x CUs", "2x CUs", "4x CUs")
+
+	for _, kind := range []t3sim.SubLayerKind{t3sim.OutProj, t3sim.FC2} {
+		for _, tp := range model.TPDegrees {
+			row := fmt.Sprintf("%-10v %-4d", kind, tp)
+			for _, scale := range []int{1, 2, 4} {
+				setup := t3sim.DefaultExperimentSetup()
+				setup.GPU.CUs *= scale
+				ev, err := t3sim.NewEvaluator(setup)
+				if err != nil {
+					log.Fatal(err)
+				}
+				r, err := ev.Evaluate(t3sim.SubCase{Model: model, Kind: kind, TP: tp})
+				if err != nil {
+					log.Fatal(err)
+				}
+				row += fmt.Sprintf(" %9.2fx", r.SpeedupT3MCA())
+			}
+			fmt.Println(row)
+		}
+	}
+	fmt.Println("\npaper §7.5: larger (FC-2) layers benefit more as compute scales;")
+	fmt.Println("balanced (OP) layers see communication exposed on the critical path")
+}

@@ -1,0 +1,52 @@
+// Sublayer: sweep every all-reduce-feeding sub-layer of one Transformer
+// (Figure 15/16 style) and print the per-scheme completion times — the
+// sequential baseline, T3, T3-MCA, and the ideal overlap bound.
+//
+// Run with:
+//
+//	go run ./examples/sublayer [model]
+//
+// where model is one of Mega-GPT-2, T-NLG, GPT-3, PALM, MT-NLG
+// (default T-NLG).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"t3sim"
+)
+
+func main() {
+	name := "T-NLG"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	model, err := t3sim.ModelByName(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ev, err := t3sim.NewEvaluator(t3sim.DefaultExperimentSetup())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s (hidden %d, %d layers, %d tokens)\n\n",
+		model.Name, model.Hidden, model.Layers, model.Tokens())
+	fmt.Printf("%-10s %-4s %12s %12s %12s | %8s %8s %8s | %s\n",
+		"sub-layer", "TP", "GEMM", "RS", "AG", "T3", "T3-MCA", "ideal", "data moved")
+	for _, tp := range model.TPDegrees {
+		for _, kind := range t3sim.AllSubLayers() {
+			r, err := ev.Evaluate(t3sim.SubCase{Model: model, Kind: kind, TP: tp})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-10v %-4d %12v %12v %12v | %7.2fx %7.2fx %7.2fx | -%.1f%%\n",
+				kind, tp, r.GEMM, r.RS, r.AG,
+				r.SpeedupT3(), r.SpeedupT3MCA(), r.SpeedupIdeal(),
+				100*r.DataMovementReduction())
+		}
+	}
+	fmt.Println("\nspeedups are over sequential GEMM->RS->AG; data moved compares DRAM bytes")
+}

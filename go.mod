@@ -1,0 +1,3 @@
+module t3sim
+
+go 1.22

@@ -1,0 +1,118 @@
+package collective
+
+import (
+	"fmt"
+
+	"t3sim/internal/interconnect"
+	"t3sim/internal/units"
+)
+
+// AnalyticOptions parameterizes the closed-form ring-collective cost model.
+// It plays the role of the paper's 4×MI210 hardware measurements (Figure 14):
+// an independent reference the discrete-event simulator is validated against.
+type AnalyticOptions struct {
+	Devices           int
+	TotalBytes        units.Bytes
+	Link              interconnect.Config
+	MemBandwidth      units.Bandwidth // aggregate HBM bandwidth
+	CUs               int
+	PerCUMemBandwidth units.Bandwidth
+	NMC               bool
+}
+
+// Validate reports whether the options are usable.
+func (o AnalyticOptions) Validate() error {
+	switch {
+	case o.Devices < 2:
+		return fmt.Errorf("collective: analytic model needs >= 2 devices, got %d", o.Devices)
+	case o.TotalBytes <= 0:
+		return fmt.Errorf("collective: TotalBytes = %v", o.TotalBytes)
+	case o.MemBandwidth <= 0:
+		return fmt.Errorf("collective: MemBandwidth = %v", o.MemBandwidth)
+	case o.CUs <= 0:
+		return fmt.Errorf("collective: CUs = %d", o.CUs)
+	case o.PerCUMemBandwidth <= 0:
+		return fmt.Errorf("collective: PerCUMemBandwidth = %v", o.PerCUMemBandwidth)
+	}
+	return o.Link.Validate()
+}
+
+func (o AnalyticOptions) cuRate() units.Bandwidth {
+	return units.Bandwidth(float64(o.PerCUMemBandwidth) * float64(o.CUs))
+}
+
+// AnalyticRingReduceScatterTime predicts the ring reduce-scatter completion
+// time: N−1 bulk-synchronous steps, each bounded by link serialization, the
+// kernel's CU-side touch rate, or HBM service, plus the final
+// read-modify-write kernel that NMC eliminates.
+func AnalyticRingReduceScatterTime(o AnalyticOptions) (units.Time, error) {
+	if err := o.Validate(); err != nil {
+		return 0, err
+	}
+	n := o.Devices
+	chunk := units.Bytes(int64(o.TotalBytes) / int64(n))
+
+	// Steady-state step: sender reads 2 copies (1 with NMC), stores across
+	// the link, receiver stages 1 copy (an NMC update costs double service).
+	cuTouches := units.Bytes(3)
+	memBytes := 3 * chunk
+	if o.NMC {
+		cuTouches = 2
+		memBytes = 3 * chunk // 1 read + 1 update at 2x service
+	}
+	step := maxTime(
+		o.Link.LinkBandwidth.TransferTime(chunk)+o.Link.LinkLatency,
+		o.cuRate().TransferTime(cuTouches*chunk),
+		o.MemBandwidth.TransferTime(memBytes),
+	)
+	total := units.Time(int64(n-1)) * step
+
+	if !o.NMC {
+		// Final kernel: 2 reads + 1 write over the owned chunk.
+		final := maxTime(
+			o.cuRate().TransferTime(3*chunk),
+			o.MemBandwidth.TransferTime(3*chunk),
+		)
+		total += final
+	}
+	return total, nil
+}
+
+// AnalyticRingAllGatherTime predicts the ring all-gather completion time:
+// the same rotation with one read and one store per hop and no reduction.
+func AnalyticRingAllGatherTime(o AnalyticOptions) (units.Time, error) {
+	if err := o.Validate(); err != nil {
+		return 0, err
+	}
+	n := o.Devices
+	chunk := units.Bytes(int64(o.TotalBytes) / int64(n))
+	step := maxTime(
+		o.Link.LinkBandwidth.TransferTime(chunk)+o.Link.LinkLatency,
+		o.cuRate().TransferTime(2*chunk),
+		o.MemBandwidth.TransferTime(2*chunk),
+	)
+	return units.Time(int64(n-1)) * step, nil
+}
+
+// AnalyticRingAllReduceTime is reduce-scatter followed by all-gather.
+func AnalyticRingAllReduceTime(o AnalyticOptions) (units.Time, error) {
+	rs, err := AnalyticRingReduceScatterTime(o)
+	if err != nil {
+		return 0, err
+	}
+	ag, err := AnalyticRingAllGatherTime(o)
+	if err != nil {
+		return 0, err
+	}
+	return rs + ag, nil
+}
+
+func maxTime(ts ...units.Time) units.Time {
+	m := ts[0]
+	for _, t := range ts[1:] {
+		if t > m {
+			m = t
+		}
+	}
+	return m
+}

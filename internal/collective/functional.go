@@ -1,0 +1,301 @@
+// Package collective implements the collectives the paper targets, in two
+// layers:
+//
+//   - functional implementations that move real float32 data between
+//     per-device slices, used as the semantic reference the timed and fused
+//     (T3) datapaths must match exactly;
+//   - timed implementations that drive the discrete-event simulator with the
+//     memory and link traffic of the baseline GPU kernels (§2.3, Figure 10a).
+//
+// The ring algorithms follow §2.3: reduce-scatter runs N−1 steps over
+// N-chunked arrays with each device forwarding a partially reduced chunk to
+// its next neighbor; all-gather is the same rotation without reduction;
+// all-reduce is reduce-scatter followed by all-gather.
+package collective
+
+import (
+	"fmt"
+)
+
+// ChunkBounds splits an array of length n into parts contiguous chunks,
+// balancing sizes so every chunk has ⌊n/parts⌋ or ⌈n/parts⌉ elements. The
+// returned slice has parts entries of [start, end) bounds.
+func ChunkBounds(n, parts int) [][2]int {
+	if parts <= 0 {
+		panic("collective: non-positive chunk count")
+	}
+	if n < 0 {
+		panic("collective: negative length")
+	}
+	bounds := make([][2]int, parts)
+	base := n / parts
+	rem := n % parts
+	start := 0
+	for i := 0; i < parts; i++ {
+		sz := base
+		if i < rem {
+			sz++
+		}
+		bounds[i] = [2]int{start, start + sz}
+		start += sz
+	}
+	return bounds
+}
+
+// OwnedChunk returns the chunk index device d owns after a ring
+// reduce-scatter over n devices with forward rotation: chunk c starts at
+// device c+1 and ends, fully reduced, at device c.
+func OwnedChunk(d, n int) int { return d % n }
+
+// validateData checks a per-device data set: >= 2 devices, equal lengths.
+func validateData(data [][]float32) (devices, length int, err error) {
+	if len(data) < 2 {
+		return 0, 0, fmt.Errorf("collective: need >= 2 devices, got %d", len(data))
+	}
+	length = len(data[0])
+	for i, d := range data {
+		if len(d) != length {
+			return 0, 0, fmt.Errorf("collective: device %d has %d elements, want %d", i, len(d), length)
+		}
+	}
+	return len(data), length, nil
+}
+
+// ReferenceAllReduce returns the element-wise sum across devices, the value
+// every device must hold after an all-reduce.
+func ReferenceAllReduce(data [][]float32) ([]float32, error) {
+	_, length, err := validateData(data)
+	if err != nil {
+		return nil, err
+	}
+	sum := make([]float32, length)
+	for _, d := range data {
+		for i, v := range d {
+			sum[i] += v
+		}
+	}
+	return sum, nil
+}
+
+// RingReduceScatter performs an in-place ring reduce-scatter: after it
+// returns, device d's chunk OwnedChunk(d, N) region holds the full
+// element-wise sum. Other regions hold whatever partial sums the rotation
+// left behind, as on real hardware.
+//
+// The implementation mirrors the hardware schedule exactly: at step s,
+// device d sends its current copy of chunk (d−1−s) mod N to device d+1,
+// which reduces it into its local copy.
+func RingReduceScatter(data [][]float32) error {
+	n, length, err := validateData(data)
+	if err != nil {
+		return err
+	}
+	bounds := ChunkBounds(length, n)
+	for s := 0; s < n-1; s++ {
+		// All sends of a step happen "simultaneously": snapshot outgoing
+		// chunks before applying any reduction.
+		msgs := make([][]float32, n)
+		for d := 0; d < n; d++ {
+			c := mod(d-1-s, n)
+			b := bounds[c]
+			msg := make([]float32, b[1]-b[0])
+			copy(msg, data[d][b[0]:b[1]])
+			msgs[d] = msg
+		}
+		for d := 0; d < n; d++ {
+			src := mod(d-1, n)
+			c := mod(d-2-s, n) // chunk the neighbor sent
+			b := bounds[c]
+			local := data[d][b[0]:b[1]]
+			for i, v := range msgs[src] {
+				local[i] += v
+			}
+		}
+	}
+	return nil
+}
+
+// RingAllGather performs an in-place ring all-gather assuming device d's
+// chunk OwnedChunk(d, N) region is authoritative (the reduce-scatter
+// postcondition): after it returns, every device holds every owned chunk.
+func RingAllGather(data [][]float32) error {
+	n, length, err := validateData(data)
+	if err != nil {
+		return err
+	}
+	bounds := ChunkBounds(length, n)
+	for s := 0; s < n-1; s++ {
+		msgs := make([][]float32, n)
+		for d := 0; d < n; d++ {
+			c := mod(d-s, n)
+			b := bounds[c]
+			msg := make([]float32, b[1]-b[0])
+			copy(msg, data[d][b[0]:b[1]])
+			msgs[d] = msg
+		}
+		for d := 0; d < n; d++ {
+			src := mod(d-1, n)
+			c := mod(d-1-s, n)
+			b := bounds[c]
+			copy(data[d][b[0]:b[1]], msgs[src])
+		}
+	}
+	return nil
+}
+
+// RingAllReduce performs reduce-scatter followed by all-gather: afterwards
+// every device holds the full element-wise sum.
+func RingAllReduce(data [][]float32) error {
+	if err := RingReduceScatter(data); err != nil {
+		return err
+	}
+	return RingAllGather(data)
+}
+
+// DirectReduceScatter performs the fully-connected-topology reduce-scatter
+// of §7.1: every device scatters each chunk directly to its owner over a
+// dedicated link, and owners reduce incoming copies. One logical step.
+func DirectReduceScatter(data [][]float32) error {
+	n, length, err := validateData(data)
+	if err != nil {
+		return err
+	}
+	bounds := ChunkBounds(length, n)
+	// Snapshot all remote contributions first: the scatter is concurrent.
+	msgs := make([][][]float32, n) // msgs[owner][src]
+	for owner := 0; owner < n; owner++ {
+		msgs[owner] = make([][]float32, n)
+		b := bounds[OwnedChunk(owner, n)]
+		for src := 0; src < n; src++ {
+			if src == owner {
+				continue
+			}
+			m := make([]float32, b[1]-b[0])
+			copy(m, data[src][b[0]:b[1]])
+			msgs[owner][src] = m
+		}
+	}
+	for owner := 0; owner < n; owner++ {
+		b := bounds[OwnedChunk(owner, n)]
+		local := data[owner][b[0]:b[1]]
+		for src := 0; src < n; src++ {
+			if src == owner {
+				continue
+			}
+			for i, v := range msgs[owner][src] {
+				local[i] += v
+			}
+		}
+	}
+	return nil
+}
+
+// AllToAll exchanges chunk j of every device to device j: afterwards device
+// d's chunk j region holds what device j's chunk d region held.
+func AllToAll(data [][]float32) error {
+	n, length, err := validateData(data)
+	if err != nil {
+		return err
+	}
+	bounds := ChunkBounds(length, n)
+	// Equal-size chunks are required for a well-defined exchange.
+	for i := 1; i < n; i++ {
+		if bounds[i][1]-bounds[i][0] != bounds[0][1]-bounds[0][0] {
+			return fmt.Errorf("collective: all-to-all needs length %d divisible by %d devices", length, n)
+		}
+	}
+	snapshot := make([][]float32, n)
+	for d := range data {
+		s := make([]float32, length)
+		copy(s, data[d])
+		snapshot[d] = s
+	}
+	for d := 0; d < n; d++ {
+		for j := 0; j < n; j++ {
+			b := bounds[j]
+			copy(data[d][b[0]:b[1]], snapshot[j][bounds[d][0]:bounds[d][1]])
+		}
+	}
+	return nil
+}
+
+// HalvingDoublingAllReduce performs a recursive-halving reduce-scatter
+// followed by recursive-doubling all-gather. The device count must be a
+// power of two. It is included as an alternative all-reduce algorithm to
+// cross-check the ring implementation against.
+func HalvingDoublingAllReduce(data [][]float32) error {
+	n, length, err := validateData(data)
+	if err != nil {
+		return err
+	}
+	if n&(n-1) != 0 {
+		return fmt.Errorf("collective: halving-doubling needs power-of-two devices, got %d", n)
+	}
+	// own[d] is the [start,end) window device d is still responsible for.
+	own := make([][2]int, n)
+	for d := range own {
+		own[d] = [2]int{0, length}
+	}
+	// Reduce-scatter by recursive halving.
+	for dist := n / 2; dist >= 1; dist /= 2 {
+		msgs := make([][]float32, n)
+		half := make([][2]int, n)
+		keepLow := make([]bool, n)
+		for d := 0; d < n; d++ {
+			lo, hi := own[d][0], own[d][1]
+			mid := lo + (hi-lo)/2
+			peer := d ^ dist
+			// The lower-indexed partner keeps the low half.
+			keepLow[d] = d < peer
+			var sendLo, sendHi int
+			if keepLow[d] {
+				sendLo, sendHi = mid, hi
+				half[d] = [2]int{lo, mid}
+			} else {
+				sendLo, sendHi = lo, mid
+				half[d] = [2]int{mid, hi}
+			}
+			m := make([]float32, sendHi-sendLo)
+			copy(m, data[d][sendLo:sendHi])
+			msgs[d] = m
+		}
+		for d := 0; d < n; d++ {
+			peer := d ^ dist
+			b := half[d]
+			local := data[d][b[0]:b[1]]
+			for i, v := range msgs[peer] {
+				local[i] += v
+			}
+			own[d] = half[d]
+		}
+	}
+	// All-gather by recursive doubling, retracing the halving in reverse.
+	for dist := 1; dist <= n/2; dist *= 2 {
+		msgs := make([][]float32, n)
+		ownSnap := make([][2]int, n)
+		copy(ownSnap, own)
+		for d := 0; d < n; d++ {
+			b := ownSnap[d]
+			m := make([]float32, b[1]-b[0])
+			copy(m, data[d][b[0]:b[1]])
+			msgs[d] = m
+		}
+		for d := 0; d < n; d++ {
+			peer := d ^ dist
+			pb := ownSnap[peer]
+			copy(data[d][pb[0]:pb[1]], msgs[peer])
+			// Merge the windows: they are adjacent halves.
+			lo, hi := ownSnap[d][0], ownSnap[d][1]
+			if pb[0] < lo {
+				lo = pb[0]
+			}
+			if pb[1] > hi {
+				hi = pb[1]
+			}
+			own[d] = [2]int{lo, hi}
+		}
+	}
+	return nil
+}
+
+func mod(a, n int) int { return ((a % n) + n) % n }

@@ -1,0 +1,270 @@
+package collective
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// makeData builds n device arrays of the given length with deterministic
+// pseudo-random contents.
+func makeData(n, length int, seed int64) [][]float32 {
+	rng := rand.New(rand.NewSource(seed))
+	data := make([][]float32, n)
+	for d := range data {
+		arr := make([]float32, length)
+		for i := range arr {
+			arr[i] = float32(rng.Intn(2000)-1000) / 16 // exact in float32
+		}
+		data[d] = arr
+	}
+	return data
+}
+
+func clone(data [][]float32) [][]float32 {
+	out := make([][]float32, len(data))
+	for i, d := range data {
+		c := make([]float32, len(d))
+		copy(c, d)
+		out[i] = c
+	}
+	return out
+}
+
+func almostEqual(a, b []float32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(float64(a[i]-b[i])) > 1e-3 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestChunkBounds(t *testing.T) {
+	b := ChunkBounds(10, 4)
+	want := [][2]int{{0, 3}, {3, 6}, {6, 8}, {8, 10}}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Errorf("chunk %d = %v, want %v", i, b[i], want[i])
+		}
+	}
+	// Bounds always tile the array.
+	f := func(n uint16, parts uint8) bool {
+		p := int(parts)%16 + 1
+		bounds := ChunkBounds(int(n), p)
+		if len(bounds) != p {
+			return false
+		}
+		prev := 0
+		for _, bd := range bounds {
+			if bd[0] != prev || bd[1] < bd[0] {
+				return false
+			}
+			prev = bd[1]
+		}
+		return prev == int(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChunkBoundsPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { ChunkBounds(4, 0) },
+		func() { ChunkBounds(-1, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestRingReduceScatterOwnedChunks(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 8, 16} {
+		data := makeData(n, 103, int64(n))
+		ref, err := ReferenceAllReduce(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := RingReduceScatter(data); err != nil {
+			t.Fatal(err)
+		}
+		bounds := ChunkBounds(103, n)
+		for d := 0; d < n; d++ {
+			b := bounds[OwnedChunk(d, n)]
+			if !almostEqual(data[d][b[0]:b[1]], ref[b[0]:b[1]]) {
+				t.Errorf("n=%d device %d owned chunk wrong", n, d)
+			}
+		}
+	}
+}
+
+func TestRingAllReduceMatchesReference(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 8} {
+		for _, length := range []int{1, 7, 64, 1000} {
+			data := makeData(n, length, int64(n*1000+length))
+			ref, _ := ReferenceAllReduce(data)
+			if err := RingAllReduce(data); err != nil {
+				t.Fatal(err)
+			}
+			for d := 0; d < n; d++ {
+				if !almostEqual(data[d], ref) {
+					t.Errorf("n=%d len=%d device %d mismatch", n, length, d)
+				}
+			}
+		}
+	}
+}
+
+func TestRingAllReduceProperty(t *testing.T) {
+	f := func(nRaw, lenRaw uint8, seed int64) bool {
+		n := int(nRaw)%7 + 2
+		length := int(lenRaw) + 1
+		data := makeData(n, length, seed)
+		ref, _ := ReferenceAllReduce(data)
+		if err := RingAllReduce(data); err != nil {
+			return false
+		}
+		for d := 0; d < n; d++ {
+			if !almostEqual(data[d], ref) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDirectReduceScatterMatchesRing(t *testing.T) {
+	for _, n := range []int{2, 4, 6} {
+		length := 96
+		a := makeData(n, length, 7)
+		b := clone(a)
+		if err := RingReduceScatter(a); err != nil {
+			t.Fatal(err)
+		}
+		if err := DirectReduceScatter(b); err != nil {
+			t.Fatal(err)
+		}
+		bounds := ChunkBounds(length, n)
+		for d := 0; d < n; d++ {
+			bd := bounds[OwnedChunk(d, n)]
+			if !almostEqual(a[d][bd[0]:bd[1]], b[d][bd[0]:bd[1]]) {
+				t.Errorf("n=%d device %d: direct != ring", n, d)
+			}
+		}
+	}
+}
+
+func TestHalvingDoublingMatchesReference(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 16} {
+		for _, length := range []int{16, 33, 128, 1001} {
+			data := makeData(n, length, int64(n+length))
+			ref, _ := ReferenceAllReduce(data)
+			if err := HalvingDoublingAllReduce(data); err != nil {
+				t.Fatal(err)
+			}
+			for d := 0; d < n; d++ {
+				if !almostEqual(data[d], ref) {
+					t.Fatalf("n=%d len=%d device %d mismatch", n, length, d)
+				}
+			}
+		}
+	}
+}
+
+func TestHalvingDoublingRejectsNonPowerOfTwo(t *testing.T) {
+	data := makeData(3, 8, 1)
+	if err := HalvingDoublingAllReduce(data); err == nil {
+		t.Error("expected error for 3 devices")
+	}
+}
+
+func TestAllToAll(t *testing.T) {
+	n, length := 4, 8
+	data := make([][]float32, n)
+	for d := range data {
+		arr := make([]float32, length)
+		for i := range arr {
+			arr[i] = float32(d*100 + i)
+		}
+		data[d] = arr
+	}
+	if err := AllToAll(data); err != nil {
+		t.Fatal(err)
+	}
+	bounds := ChunkBounds(length, n)
+	for d := 0; d < n; d++ {
+		for j := 0; j < n; j++ {
+			b := bounds[j]
+			for i := b[0]; i < b[1]; i++ {
+				// data[d] chunk j came from device j's chunk d.
+				want := float32(j*100 + bounds[d][0] + (i - b[0]))
+				if data[d][i] != want {
+					t.Fatalf("device %d elem %d = %v, want %v", d, i, data[d][i], want)
+				}
+			}
+		}
+	}
+}
+
+func TestAllToAllRejectsRaggedChunks(t *testing.T) {
+	data := makeData(4, 10, 1) // 10 % 4 != 0
+	if err := AllToAll(data); err == nil {
+		t.Error("expected error for indivisible length")
+	}
+}
+
+func TestValidateDataErrors(t *testing.T) {
+	if err := RingReduceScatter([][]float32{{1}}); err == nil {
+		t.Error("single device: expected error")
+	}
+	if err := RingAllGather([][]float32{{1, 2}, {1}}); err == nil {
+		t.Error("ragged devices: expected error")
+	}
+	if _, err := ReferenceAllReduce(nil); err == nil {
+		t.Error("nil data: expected error")
+	}
+}
+
+func TestRingAllGatherSpreadsOwnedChunks(t *testing.T) {
+	n, length := 4, 16
+	data := make([][]float32, n)
+	bounds := ChunkBounds(length, n)
+	for d := range data {
+		arr := make([]float32, length)
+		b := bounds[OwnedChunk(d, n)]
+		for i := b[0]; i < b[1]; i++ {
+			arr[i] = float32(100 + i)
+		}
+		data[d] = arr
+	}
+	if err := RingAllGather(data); err != nil {
+		t.Fatal(err)
+	}
+	for d := 0; d < n; d++ {
+		for i := 0; i < length; i++ {
+			if data[d][i] != float32(100+i) {
+				t.Fatalf("device %d elem %d = %v, want %v", d, i, data[d][i], float32(100+i))
+			}
+		}
+	}
+}
+
+func TestOwnedChunk(t *testing.T) {
+	if OwnedChunk(3, 4) != 3 || OwnedChunk(0, 4) != 0 {
+		t.Error("OwnedChunk wrong")
+	}
+}

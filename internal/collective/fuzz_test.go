@@ -1,0 +1,90 @@
+package collective
+
+import (
+	"math"
+	"testing"
+)
+
+// fuzzData decodes a byte stream into a per-device data set: the first byte
+// picks the device count, the second the per-device length, and the rest
+// fills values.
+func fuzzData(data []byte) [][]float32 {
+	if len(data) < 2 {
+		return nil
+	}
+	n := int(data[0])%7 + 2
+	length := int(data[1])%64 + 1
+	out := make([][]float32, n)
+	idx := 2
+	for d := range out {
+		arr := make([]float32, length)
+		for i := range arr {
+			if idx < len(data) {
+				arr[i] = float32(int(data[idx])-128) / 4
+				idx++
+			} else {
+				arr[i] = float32((d*31 + i) % 17)
+			}
+		}
+		out[d] = arr
+	}
+	return out
+}
+
+// FuzzRingAllReduce checks that the ring all-reduce matches the serial
+// reference for arbitrary inputs.
+func FuzzRingAllReduce(f *testing.F) {
+	f.Add([]byte{2, 4, 1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{7, 63})
+	f.Add([]byte{0, 0, 255})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		devs := fuzzData(data)
+		if devs == nil {
+			return
+		}
+		ref, err := ReferenceAllReduce(devs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := RingAllReduce(devs); err != nil {
+			t.Fatal(err)
+		}
+		for d := range devs {
+			for i := range devs[d] {
+				if math.Abs(float64(devs[d][i]-ref[i])) > 1e-2 {
+					t.Fatalf("device %d elem %d = %v, want %v", d, i, devs[d][i], ref[i])
+				}
+			}
+		}
+	})
+}
+
+// FuzzRingReduceScatterOwnership checks the reduce-scatter postcondition for
+// arbitrary inputs.
+func FuzzRingReduceScatterOwnership(f *testing.F) {
+	f.Add([]byte{3, 10, 9, 8, 7})
+	f.Add([]byte{4, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		devs := fuzzData(data)
+		if devs == nil {
+			return
+		}
+		ref, err := ReferenceAllReduce(devs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := len(devs)
+		if err := RingReduceScatter(devs); err != nil {
+			t.Fatal(err)
+		}
+		bounds := ChunkBounds(len(ref), n)
+		for d := 0; d < n; d++ {
+			b := bounds[OwnedChunk(d, n)]
+			for i := b[0]; i < b[1]; i++ {
+				if math.Abs(float64(devs[d][i]-ref[i])) > 1e-2 {
+					t.Fatalf("device %d elem %d wrong", d, i)
+				}
+			}
+		}
+	})
+}

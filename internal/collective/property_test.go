@@ -1,0 +1,147 @@
+package collective
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"t3sim/internal/interconnect"
+	"t3sim/internal/memory"
+	"t3sim/internal/sim"
+	"t3sim/internal/units"
+)
+
+// timedHarness builds a ring + per-device controllers for property tests.
+func timedHarness(devices int) (*sim.Engine, Options, error) {
+	eng := sim.NewEngine()
+	ring, err := interconnect.NewRing(eng, devices, interconnect.DefaultConfig())
+	if err != nil {
+		return nil, Options{}, err
+	}
+	devs := make([]*Device, devices)
+	for i := range devs {
+		mc, err := memory.NewController(eng, memory.DefaultConfig(), memory.ComputeFirst{})
+		if err != nil {
+			return nil, Options{}, err
+		}
+		devs[i] = &Device{ID: i, Mem: mc}
+	}
+	return eng, Options{
+		Ring:              ring,
+		Devices:           devs,
+		BlockBytes:        32 * units.KiB,
+		CUs:               80,
+		PerCUMemBandwidth: 16 * units.GBps,
+		Stream:            memory.StreamComm,
+	}, nil
+}
+
+// TestPropertyTimedRSAlwaysCompletes: for random device counts and sizes,
+// the timed reduce-scatter always drains with exact traffic accounting on
+// evenly divisible sizes.
+func TestPropertyTimedRSAlwaysCompletes(t *testing.T) {
+	f := func(devRaw uint8, sizeRaw uint16, nmc bool) bool {
+		devices := int(devRaw)%7 + 2
+		size := units.Bytes(int(sizeRaw)%512+devices) * units.Bytes(devices) * units.KiB
+		eng, o, err := timedHarness(devices)
+		if err != nil {
+			return false
+		}
+		o.TotalBytes = size
+		o.NMC = nmc
+		done := false
+		if err := StartRingReduceScatter(eng, o, func() { done = true }); err != nil {
+			return false
+		}
+		eng.Run()
+		if !done {
+			return false
+		}
+		chunk := size / units.Bytes(devices)
+		n := units.Bytes(devices)
+		for _, d := range o.Devices {
+			r := d.Mem.Counters().KindBytes(memory.Read)
+			if nmc {
+				if r != chunk*(n-1) {
+					return false
+				}
+				if u := d.Mem.Counters().KindBytes(memory.Update); u != chunk*(n-1) {
+					return false
+				}
+			} else {
+				if r != chunk*(2*(n-1)-1+2) {
+					return false
+				}
+				if w := d.Mem.Counters().KindBytes(memory.Write); w != chunk*n {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyTimedRSMonotoneInSize: more bytes never finish faster.
+func TestPropertyTimedRSMonotoneInSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	run := func(size units.Bytes) units.Time {
+		eng, o, err := timedHarness(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o.TotalBytes = size
+		var done units.Time
+		if err := StartRingReduceScatter(eng, o, func() { done = eng.Now() }); err != nil {
+			t.Fatal(err)
+		}
+		eng.Run()
+		return done
+	}
+	prevSize := units.Bytes(0)
+	var prevTime units.Time
+	for i := 0; i < 6; i++ {
+		size := prevSize + units.Bytes(rng.Intn(8)+1)*units.MiB
+		tm := run(size)
+		if prevSize > 0 && tm <= prevTime {
+			t.Fatalf("size %v (%v) not slower than %v (%v)", size, tm, prevSize, prevTime)
+		}
+		prevSize, prevTime = size, tm
+	}
+}
+
+// TestPropertyAGNeverSlowerThanRS: all-gather does strictly less work than
+// reduce-scatter for the same geometry (no reduction reads, no final RMW).
+func TestPropertyAGNeverSlowerThanRS(t *testing.T) {
+	for _, devices := range []int{2, 4, 8} {
+		for _, size := range []units.Bytes{8 * units.MiB, 24 * units.MiB} {
+			engRS, oRS, err := timedHarness(devices)
+			if err != nil {
+				t.Fatal(err)
+			}
+			oRS.TotalBytes = size
+			var rsT units.Time
+			if err := StartRingReduceScatter(engRS, oRS, func() { rsT = engRS.Now() }); err != nil {
+				t.Fatal(err)
+			}
+			engRS.Run()
+
+			engAG, oAG, err := timedHarness(devices)
+			if err != nil {
+				t.Fatal(err)
+			}
+			oAG.TotalBytes = size
+			var agT units.Time
+			if err := StartRingAllGather(engAG, oAG, func() { agT = engAG.Now() }); err != nil {
+				t.Fatal(err)
+			}
+			engAG.Run()
+
+			if agT > rsT {
+				t.Errorf("n=%d size=%v: AG %v slower than RS %v", devices, size, agT, rsT)
+			}
+		}
+	}
+}

@@ -1,0 +1,256 @@
+package collective
+
+import (
+	"fmt"
+
+	"t3sim/internal/interconnect"
+	"t3sim/internal/memory"
+	"t3sim/internal/sim"
+	"t3sim/internal/units"
+)
+
+// Device bundles the per-GPU resources a timed collective touches.
+type Device struct {
+	ID  int
+	Mem *memory.Controller
+}
+
+// Options parameterizes a timed collective run.
+type Options struct {
+	Ring    *interconnect.Ring
+	Devices []*Device
+	// TotalBytes is the full array size being reduced/gathered.
+	TotalBytes units.Bytes
+	// BlockBytes is the software pipelining granularity within one step: the
+	// unit at which data moves through read → reduce → send → receive-write.
+	BlockBytes units.Bytes
+	// CUs is how many compute units the collective kernel occupies; with
+	// fewer CUs the kernel sustains less memory throughput, which is the
+	// §3.2.1 contention effect.
+	CUs int
+	// PerCUMemBandwidth is the memory throughput one CU sustains.
+	PerCUMemBandwidth units.Bandwidth
+	// NMC reduces incoming traffic in DRAM (op-and-store updates) instead of
+	// on the CUs, eliminating the reduction reads and the final step's
+	// read-modify-write (§4.3, Figure 10).
+	NMC bool
+	// Stream selects the memory-controller stream the kernel's accesses use.
+	Stream memory.Stream
+}
+
+// Validate reports whether the options are usable.
+func (o Options) Validate() error {
+	switch {
+	case o.Ring == nil:
+		return fmt.Errorf("collective: nil ring")
+	case len(o.Devices) != o.Ring.Devices():
+		return fmt.Errorf("collective: %d devices for %d-way ring", len(o.Devices), o.Ring.Devices())
+	case o.TotalBytes <= 0:
+		return fmt.Errorf("collective: TotalBytes = %v", o.TotalBytes)
+	case o.BlockBytes <= 0:
+		return fmt.Errorf("collective: BlockBytes = %v", o.BlockBytes)
+	case o.CUs <= 0:
+		return fmt.Errorf("collective: CUs = %d", o.CUs)
+	case o.PerCUMemBandwidth <= 0:
+		return fmt.Errorf("collective: PerCUMemBandwidth = %v", o.PerCUMemBandwidth)
+	}
+	for i, d := range o.Devices {
+		if d == nil || d.Mem == nil {
+			return fmt.Errorf("collective: device %d missing memory controller", i)
+		}
+	}
+	return nil
+}
+
+// cuRate returns the kernel's sustainable CU-side memory touch rate.
+func (o Options) cuRate() units.Bandwidth {
+	return units.Bandwidth(float64(o.PerCUMemBandwidth) * float64(o.CUs))
+}
+
+// chunkSizes splits total into n chunks, mirroring ChunkBounds over bytes.
+func chunkSizes(total units.Bytes, n int) []units.Bytes {
+	bounds := ChunkBounds(int(total), n)
+	out := make([]units.Bytes, n)
+	for i, b := range bounds {
+		out[i] = units.Bytes(b[1] - b[0])
+	}
+	return out
+}
+
+// splitBlocks splits a chunk into pipeline blocks of at most blockBytes.
+func splitBlocks(c, blockBytes units.Bytes) []units.Bytes {
+	var out []units.Bytes
+	for c > 0 {
+		b := blockBytes
+		if c < b {
+			b = c
+		}
+		out = append(out, b)
+		c -= b
+	}
+	return out
+}
+
+// run tracks one in-flight timed collective. The baseline collective
+// executes each ring step as its own kernel, exactly like the paper's
+// simulated baseline (§5.1.1, Figure 13): blocks pipeline freely within a
+// step, but a device starts step s+1 only after all of step s's incoming
+// data has been staged in its memory (the kernel boundary).
+type run struct {
+	eng      *sim.Engine
+	o        Options
+	n        int
+	reduce   bool          // reduce-scatter (true) or all-gather (false)
+	chunks   []units.Bytes // chunk size per chunk index
+	cuFree   []units.Time  // per-device CU pacer
+	arrivals map[[2]int]*sim.Fence
+	done     *sim.Fence
+}
+
+func newRun(eng *sim.Engine, o Options, reduce bool, onDone sim.Handler) (*run, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	r := &run{eng: eng, o: o, n: o.Ring.Devices(), reduce: reduce}
+	r.chunks = chunkSizes(o.TotalBytes, r.n)
+	r.cuFree = make([]units.Time, r.n)
+	r.done = sim.NewFence(r.n, onDone) // one completion per device
+
+	// Arrival fences for every (device, step) are registered up front: a
+	// fast neighbor may deliver step s+1 blocks while this device is still
+	// staging step s.
+	r.arrivals = make(map[[2]int]*sim.Fence)
+	for d := 0; d < r.n; d++ {
+		for s := 0; s < r.n-1; s++ {
+			d, s := d, s
+			inBlocks := len(splitBlocks(r.chunks[r.outChunk(d, s+1)], o.BlockBytes))
+			r.arrivals[[2]int{d, s}] = sim.NewFence(inBlocks, func() {
+				if s < r.n-2 {
+					r.sendStep(d, s+1)
+					return
+				}
+				r.finish(d)
+			})
+		}
+	}
+	return r, nil
+}
+
+// outChunk returns the chunk device d sends at step s.
+func (r *run) outChunk(d, s int) int {
+	if r.reduce {
+		// Reduce-scatter rotation: chunk c starts at device c+1 (§2.3).
+		return mod(d-1-s, r.n)
+	}
+	// All-gather: device d starts by sending its owned chunk.
+	return mod(d-s, r.n)
+}
+
+// pace reserves CU time for touching n bytes `touches` times and returns the
+// completion time of the reservation.
+func (r *run) pace(d int, touches int, n units.Bytes) units.Time {
+	now := r.eng.Now()
+	if r.cuFree[d] < now {
+		r.cuFree[d] = now
+	}
+	r.cuFree[d] += r.o.cuRate().TransferTime(units.Bytes(touches) * n)
+	return r.cuFree[d]
+}
+
+// start kicks off step 0 on every device.
+func (r *run) start() {
+	for d := 0; d < r.n; d++ {
+		r.sendStep(d, 0)
+	}
+}
+
+// sendStep sends every block of device d's step-s outgoing chunk. The step
+// boundary (next kernel) is the arrival fence registered in newRun.
+func (r *run) sendStep(d, s int) {
+	for _, b := range splitBlocks(r.chunks[r.outChunk(d, s)], r.o.BlockBytes) {
+		r.send(d, s, b)
+	}
+}
+
+// send moves one block of device d's step-s outgoing chunk: read inputs,
+// reduce on the CUs (reduce-scatter only), push over the forward link, and
+// stage at the receiver.
+func (r *run) send(d, s int, block units.Bytes) {
+	o := r.o
+	mem := o.Devices[d].Mem
+	reads, touches := 1, 2 // 1 read + 1 remote store (all-gather / NMC / step 0)
+	if r.reduce && s > 0 && !o.NMC {
+		reads, touches = 2, 3 // + staged copy read and the reduce
+	}
+	fence := sim.NewFence(reads, func() {
+		at := r.pace(d, touches, block)
+		r.eng.At(at, func() {
+			link := o.Ring.ForwardLink(d)
+			link.Send(block, func() { r.receive(o.Ring.Next(d), s, block) })
+		})
+	})
+	for i := 0; i < reads; i++ {
+		mem.Transfer(memory.Read, o.Stream, block, memory.Tag{}, fence.Done)
+	}
+}
+
+// receive stages an arriving block in device d's memory and credits the
+// step's arrival fence.
+func (r *run) receive(d, s int, block units.Bytes) {
+	o := r.o
+	kind := memory.Write
+	if r.reduce && o.NMC {
+		kind = memory.Update
+	}
+	o.Devices[d].Mem.Transfer(kind, o.Stream, block, memory.Tag{}, func() {
+		r.arrivals[[2]int{d, s}].Done()
+	})
+}
+
+// finish runs after device d's last arrival: reduce-scatter merges the fully
+// rotated chunk with the local copy in one last kernel (2 reads + 1 write,
+// the read-modify-write NMC eliminates); all-gather is already done.
+func (r *run) finish(d int) {
+	if !r.reduce || r.o.NMC {
+		r.done.Done()
+		return
+	}
+	o := r.o
+	mem := o.Devices[d].Mem
+	blocks := splitBlocks(r.chunks[OwnedChunk(d, r.n)], o.BlockBytes)
+	final := sim.NewFence(len(blocks), r.done.Done)
+	for _, b := range blocks {
+		block := b
+		reads := sim.NewFence(2, func() {
+			at := r.pace(d, 3, block)
+			r.eng.At(at, func() {
+				mem.Transfer(memory.Write, o.Stream, block, memory.Tag{}, final.Done)
+			})
+		})
+		mem.Transfer(memory.Read, o.Stream, block, memory.Tag{}, reads.Done)
+		mem.Transfer(memory.Read, o.Stream, block, memory.Tag{}, reads.Done)
+	}
+}
+
+// StartRingReduceScatter schedules a timed ring reduce-scatter on eng and
+// runs onDone when every device has finished its final reduction. The caller
+// drives the engine.
+func StartRingReduceScatter(eng *sim.Engine, o Options, onDone sim.Handler) error {
+	r, err := newRun(eng, o, true, onDone)
+	if err != nil {
+		return err
+	}
+	r.start()
+	return nil
+}
+
+// StartRingAllGather schedules a timed ring all-gather on eng: the same
+// rotation as reduce-scatter without reductions.
+func StartRingAllGather(eng *sim.Engine, o Options, onDone sim.Handler) error {
+	r, err := newRun(eng, o, false, onDone)
+	if err != nil {
+		return err
+	}
+	r.start()
+	return nil
+}

@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationArbitration(t *testing.T) {
+	res, err := AblationArbitration(evaluator(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 7 {
+		t.Fatalf("rows = %d, want 7", len(res.Rows))
+	}
+	byName := map[string]AblationArbRow{}
+	for _, row := range res.Rows {
+		if row.Speedup <= 0.9 {
+			t.Errorf("%s: speedup %.3f implausible", row.Policy, row.Speedup)
+		}
+		byName[row.Policy] = row
+	}
+	// The dynamic MCA must not lose to round-robin.
+	if byName["MCA dynamic (T3-MCA)"].Speedup < byName["round-robin (T3)"].Speedup*0.99 {
+		t.Errorf("dynamic MCA %.3f below round-robin %.3f",
+			byName["MCA dynamic (T3-MCA)"].Speedup, byName["round-robin (T3)"].Speedup)
+	}
+	// Fixed thresholds were honored.
+	if byName["MCA fixed 5"].Threshold != 5 || byName["MCA no-limit"].Threshold != -1 {
+		t.Error("fixed thresholds not honored")
+	}
+	// The dynamic policy should land within the fixed-threshold envelope.
+	bestFixed := 0.0
+	for _, th := range []string{"MCA fixed 5", "MCA fixed 10", "MCA fixed 30", "MCA no-limit"} {
+		if byName[th].Speedup > bestFixed {
+			bestFixed = byName[th].Speedup
+		}
+	}
+	if byName["MCA dynamic (T3-MCA)"].Speedup < bestFixed*0.97 {
+		t.Errorf("dynamic MCA %.3f well below best fixed %.3f",
+			byName["MCA dynamic (T3-MCA)"].Speedup, bestFixed)
+	}
+	if !strings.Contains(res.Render(), "arbitration") {
+		t.Error("render missing title")
+	}
+}
+
+func TestAblationNMCCost(t *testing.T) {
+	res, err := AblationNMCCost(evaluator(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(res.Rows))
+	}
+	// Speedup must degrade monotonically (weakly) as updates get costlier,
+	// and gracefully: 8x update cost should still show a benefit.
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].Speedup > res.Rows[i-1].Speedup*1.01 {
+			t.Errorf("speedup rose with costlier updates: %.3f -> %.3f",
+				res.Rows[i-1].Speedup, res.Rows[i].Speedup)
+		}
+	}
+	last := res.Rows[len(res.Rows)-1]
+	if last.Speedup < 1.0 {
+		t.Errorf("8x update cost speedup %.3f fell below 1 (paper §7.4: graceful)", last.Speedup)
+	}
+	if !strings.Contains(res.Render(), "NMC") {
+		t.Error("render missing title")
+	}
+}
+
+func TestAblationDMABlock(t *testing.T) {
+	res, err := AblationDMABlock(evaluator(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(res.Rows))
+	}
+	// All granularities complete with comparable performance (within 20%).
+	base := res.Rows[0].Speedup
+	for _, row := range res.Rows {
+		if row.Speedup < base*0.8 || row.Speedup > base*1.2 {
+			t.Errorf("k=%d speedup %.3f far from k=1's %.3f", row.TilesPerBlock, row.Speedup, base)
+		}
+	}
+	if !strings.Contains(res.Render(), "DMA block") {
+		t.Error("render missing title")
+	}
+}
+
+func TestAblationLinkBandwidth(t *testing.T) {
+	res, err := AblationLinkBandwidth(evaluator(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(res.Rows))
+	}
+	// Rows are ordered fastest link first. RS grows as links slow; exposed
+	// communication appears once RS exceeds the GEMM (§7.8).
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].RS <= res.Rows[i-1].RS {
+			t.Error("RS not monotone in link slowdown")
+		}
+	}
+	slowest := res.Rows[len(res.Rows)-1]
+	if slowest.ExposedComm <= 0 {
+		t.Error("slowest link should expose communication")
+	}
+	// Even with exposed communication, fusing still beats sequential: the
+	// GEMM's worth of communication is hidden.
+	if slowest.Speedup <= 1.0 {
+		t.Errorf("slow-link speedup %.3f, want > 1 (T3 hides the GEMM cost)", slowest.Speedup)
+	}
+	fastest := res.Rows[0]
+	if fastest.ExposedComm > fastest.GEMM/10 {
+		t.Errorf("fast link exposes %v, want ~0", fastest.ExposedComm)
+	}
+	if !strings.Contains(res.Render(), "link bandwidth") {
+		t.Error("render missing title")
+	}
+}
+
+func TestAblationDRAMModel(t *testing.T) {
+	res, err := AblationDRAMModel(evaluator(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(res.Rows))
+	}
+	flat, banked := res.Rows[0], res.Rows[1]
+	// Both complete with a real speedup.
+	if flat.Speedup <= 1.0 || banked.Speedup <= 1.0 {
+		t.Errorf("speedups %.3f/%.3f, want > 1", flat.Speedup, banked.Speedup)
+	}
+	// The flat model's uniform 2x update charge is the conservative bound:
+	// the bank-group model should be at least as fast.
+	if float64(banked.Done) > float64(flat.Done)*1.05 {
+		t.Errorf("banked (%v) much slower than flat (%v)", banked.Done, flat.Done)
+	}
+	// And the two models agree within a plausible fidelity band.
+	ratio := float64(banked.Done) / float64(flat.Done)
+	if ratio < 0.7 || ratio > 1.05 {
+		t.Errorf("banked/flat = %.2f, want 0.7..1.05", ratio)
+	}
+	if !strings.Contains(res.Render(), "DRAM timing") {
+		t.Error("render missing title")
+	}
+}
+
+func TestAblationGEMMPipeline(t *testing.T) {
+	res, err := AblationGEMMPipeline(evaluator(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(res.Rows))
+	}
+	serial, db := res.Rows[0], res.Rows[1]
+	if db.GEMM > serial.GEMM {
+		t.Errorf("double-buffered GEMM %v slower than serial %v", db.GEMM, serial.GEMM)
+	}
+	// T3's benefit persists under either schedule.
+	if serial.Speedup <= 1.0 || db.Speedup <= 1.0 {
+		t.Errorf("speedups %.3f/%.3f, want > 1", serial.Speedup, db.Speedup)
+	}
+	if !strings.Contains(res.Render(), "stage schedule") {
+		t.Error("render missing title")
+	}
+}

@@ -1,0 +1,273 @@
+package experiments
+
+import (
+	"fmt"
+
+	"t3sim/internal/collective"
+	"t3sim/internal/gemm"
+	"t3sim/internal/gpu"
+	"t3sim/internal/interconnect"
+	"t3sim/internal/memory"
+	"t3sim/internal/sim"
+	"t3sim/internal/t3core"
+	"t3sim/internal/units"
+)
+
+// CoarseOverlapRow is one policy/NMC combination of the §3.2.2 study:
+// an independent GEMM (e.g. a data-parallel backward pass) runs concurrently
+// with a gradient reduce-scatter on the same GPUs, contending for memory
+// bandwidth. Prior work (Rashidi et al.) measured AR slowdowns of 1.4-2.4x
+// in exactly this regime; T3's NMC and MCA help even though nothing is
+// fused (§7.2).
+type CoarseOverlapRow struct {
+	Policy string
+	NMC    bool
+	// GEMMTime/RSTime are the concurrent completion times.
+	GEMMTime units.Time
+	RSTime   units.Time
+	// Slowdowns are relative to isolated runs.
+	GEMMSlowdown float64
+	RSSlowdown   float64
+}
+
+// CoarseOverlapResult is the coarse-grained contention study, run on two
+// machines: the Table 1 configuration (1 TB/s HBM — where the link-bound RS
+// leaves plenty of memory headroom and contention is mild) and a
+// bandwidth-constrained one (300 GB/s) where the combined demand saturates
+// DRAM and the policies separate.
+type CoarseOverlapResult struct {
+	GEMMIsolated units.Time
+	RSIsolated   units.Time
+	Rows         []CoarseOverlapRow
+
+	ConstrainedBandwidth    units.Bandwidth
+	ConstrainedGEMMIsolated units.Time
+	ConstrainedRSIsolated   units.Time
+	ConstrainedRows         []CoarseOverlapRow
+}
+
+// coarseGEMM is the independent producer: a T-NLG-scale backward GEMM.
+func coarseGEMM() (gemm.Grid, error) {
+	return gemm.NewGrid(gemm.Shape{M: 8192, N: 4256, K: 2128, ElemBytes: 2}, gemm.DefaultTiling())
+}
+
+const (
+	coarseDevices = 4
+	coarseRSBytes = 64 * units.MiB
+	coarseGEMMCUs = 64
+	coarseRSCUs   = 16
+)
+
+// CoarseOverlap runs the contention matrix: {round-robin, compute-first,
+// MCA} × {NMC off, NMC on}.
+func CoarseOverlap(setup Setup) (*CoarseOverlapResult, error) {
+	if err := setup.Validate(); err != nil {
+		return nil, err
+	}
+	grid, err := coarseGEMM()
+	if err != nil {
+		return nil, err
+	}
+	res := &CoarseOverlapResult{ConstrainedBandwidth: 300 * units.GBps}
+
+	gIso, rsIso, rows, err := coarseMatrix(setup, grid)
+	if err != nil {
+		return nil, err
+	}
+	res.GEMMIsolated, res.RSIsolated, res.Rows = gIso, rsIso, rows
+
+	constrained := setup
+	constrained.Memory.TotalBandwidth = res.ConstrainedBandwidth
+	gIso, rsIso, rows, err = coarseMatrix(constrained, grid)
+	if err != nil {
+		return nil, err
+	}
+	res.ConstrainedGEMMIsolated, res.ConstrainedRSIsolated, res.ConstrainedRows = gIso, rsIso, rows
+	return res, nil
+}
+
+// coarseMatrix runs the isolated references plus the policy × NMC matrix on
+// one machine configuration.
+func coarseMatrix(setup Setup, grid gemm.Grid) (units.Time, units.Time, []CoarseOverlapRow, error) {
+	gIso, err := coarseRunGEMMIsolated(setup, grid)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	rsIso, err := coarseRunRSIsolated(setup, false)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	policies := []struct {
+		name string
+		arb  t3core.Arbitration
+	}{
+		{"round-robin", t3core.ArbRoundRobin},
+		{"compute-first", t3core.ArbComputeFirst},
+		{"MCA", t3core.ArbMCA},
+	}
+	var rows []CoarseOverlapRow
+	for _, nmc := range []bool{false, true} {
+		for _, pol := range policies {
+			gT, rsT, err := coarseRunConcurrent(setup, grid, pol.arb, nmc)
+			if err != nil {
+				return 0, 0, nil, err
+			}
+			rows = append(rows, CoarseOverlapRow{
+				Policy:       pol.name,
+				NMC:          nmc,
+				GEMMTime:     gT,
+				RSTime:       rsT,
+				GEMMSlowdown: float64(gT) / float64(gIso),
+				RSSlowdown:   float64(rsT) / float64(rsIso),
+			})
+		}
+	}
+	return gIso, rsIso, rows, nil
+}
+
+// coarseRunGEMMIsolated times the GEMM alone on its CU share.
+func coarseRunGEMMIsolated(setup Setup, grid gemm.Grid) (units.Time, error) {
+	eng := sim.NewEngine()
+	mc, err := memory.NewController(eng, setup.Memory, memory.ComputeFirst{})
+	if err != nil {
+		return 0, err
+	}
+	k := &gpu.GEMMKernel{Eng: eng, Mem: mc, GPU: setup.GPU, Grid: grid, CUs: coarseGEMMCUs}
+	if err := k.Start(nil); err != nil {
+		return 0, err
+	}
+	eng.Run()
+	return k.Finished(), nil
+}
+
+// coarseRunRSIsolated times the reduce-scatter alone on its CU share.
+func coarseRunRSIsolated(setup Setup, nmc bool) (units.Time, error) {
+	eng := sim.NewEngine()
+	ring, err := interconnect.NewRing(eng, coarseDevices, setup.Link)
+	if err != nil {
+		return 0, err
+	}
+	devs := make([]*collective.Device, coarseDevices)
+	for i := range devs {
+		mc, err := memory.NewController(eng, setup.Memory, memory.ComputeFirst{})
+		if err != nil {
+			return 0, err
+		}
+		devs[i] = &collective.Device{ID: i, Mem: mc}
+	}
+	var done units.Time
+	err = collective.StartRingReduceScatter(eng, collective.Options{
+		Ring:              ring,
+		Devices:           devs,
+		TotalBytes:        coarseRSBytes,
+		BlockBytes:        setup.BlockBytes,
+		CUs:               coarseRSCUs,
+		PerCUMemBandwidth: setup.PerCUMemBandwidth,
+		NMC:               nmc,
+		Stream:            memory.StreamComm,
+	}, func() { done = eng.Now() })
+	if err != nil {
+		return 0, err
+	}
+	eng.Run()
+	if done == 0 {
+		return 0, fmt.Errorf("experiments: isolated RS never completed")
+	}
+	return done, nil
+}
+
+// coarseRunConcurrent runs one GEMM per device concurrently with the
+// reduce-scatter on shared memory controllers.
+func coarseRunConcurrent(setup Setup, grid gemm.Grid, arbKind t3core.Arbitration, nmc bool) (gemmT, rsT units.Time, err error) {
+	eng := sim.NewEngine()
+	ring, err := interconnect.NewRing(eng, coarseDevices, setup.Link)
+	if err != nil {
+		return 0, 0, err
+	}
+	devs := make([]*collective.Device, coarseDevices)
+	kernels := make([]*gpu.GEMMKernel, coarseDevices)
+	for i := range devs {
+		var arb memory.Arbiter
+		switch arbKind {
+		case t3core.ArbRoundRobin:
+			arb = &memory.RoundRobin{}
+		case t3core.ArbComputeFirst:
+			arb = memory.ComputeFirst{}
+		case t3core.ArbMCA:
+			arb = memory.NewMCA(memory.DefaultMCAConfig())
+		default:
+			return 0, 0, fmt.Errorf("experiments: unknown arbitration %v", arbKind)
+		}
+		mc, err := memory.NewController(eng, setup.Memory, arb)
+		if err != nil {
+			return 0, 0, err
+		}
+		devs[i] = &collective.Device{ID: i, Mem: mc}
+		kernels[i] = &gpu.GEMMKernel{
+			Eng:     eng,
+			Mem:     mc,
+			GPU:     setup.GPU,
+			Grid:    grid,
+			CUs:     coarseGEMMCUs,
+			Monitor: arbKind == t3core.ArbMCA,
+		}
+	}
+	var rsDone units.Time
+	err = collective.StartRingReduceScatter(eng, collective.Options{
+		Ring:              ring,
+		Devices:           devs,
+		TotalBytes:        coarseRSBytes,
+		BlockBytes:        setup.BlockBytes,
+		CUs:               coarseRSCUs,
+		PerCUMemBandwidth: setup.PerCUMemBandwidth,
+		NMC:               nmc,
+		Stream:            memory.StreamComm,
+	}, func() { rsDone = eng.Now() })
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, k := range kernels {
+		if err := k.Start(nil); err != nil {
+			return 0, 0, err
+		}
+	}
+	eng.Run()
+	if rsDone == 0 {
+		return 0, 0, fmt.Errorf("experiments: concurrent RS never completed")
+	}
+	var latest units.Time
+	for _, k := range kernels {
+		if k.Finished() > latest {
+			latest = k.Finished()
+		}
+	}
+	return latest, rsDone, nil
+}
+
+// Render formats the contention matrices.
+func (r *CoarseOverlapResult) Render() string {
+	section := func(title string, gIso, rsIso units.Time, rows []CoarseOverlapRow) string {
+		t := &Table{
+			Title:  title,
+			Header: []string{"policy", "NMC", "GEMM", "RS", "GEMM slow", "RS slow"},
+		}
+		for _, row := range rows {
+			nmc := "off"
+			if row.NMC {
+				nmc = "on"
+			}
+			t.AddRow(row.Policy, nmc, row.GEMMTime.String(), row.RSTime.String(),
+				fmt.Sprintf("%.2fx", row.GEMMSlowdown), fmt.Sprintf("%.2fx", row.RSSlowdown))
+		}
+		t.AddFooter("isolated: GEMM %v, RS %v", gIso, rsIso)
+		return t.String()
+	}
+	head := fmt.Sprintf("Coarse-grained overlap contention (§3.2.2/§7.2): GEMM (%d CUs) + gradient RS (%d CUs, %v, %d GPUs)",
+		coarseGEMMCUs, coarseRSCUs, coarseRSBytes, coarseDevices)
+	out := section(head+"\n-- Table 1 machine (1 TB/s HBM)", r.GEMMIsolated, r.RSIsolated, r.Rows)
+	out += "\n" + section(fmt.Sprintf("-- bandwidth-constrained machine (%v HBM)", r.ConstrainedBandwidth),
+		r.ConstrainedGEMMIsolated, r.ConstrainedRSIsolated, r.ConstrainedRows)
+	out += "prior work (ACE) reports AR slowdowns of 1.4x (TP) to 2.4x (DP) under saturation;\n"
+	out += "T3's NMC and MCA reduce the contention without fusing anything (§7.2)\n"
+	return out
+}

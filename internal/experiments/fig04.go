@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+
+	"t3sim/internal/transformer"
+)
+
+// Fig4Row is one bar of Figure 4: how one model iteration splits between the
+// tensor-sliced GEMM→AR sub-layers (further split into GEMM vs RS vs AG) and
+// everything else.
+type Fig4Row struct {
+	Model string
+	TP    int
+	Phase transformer.Phase
+	// Fractions of iteration time (sum to 1).
+	SlicedGEMMFrac float64
+	RSFrac         float64
+	AGFrac         float64
+	OtherFrac      float64
+}
+
+// CommFrac returns the collective share (RS+AG).
+func (r Fig4Row) CommFrac() float64 { return r.RSFrac + r.AGFrac }
+
+// Fig4Result is the Figure 4 reproduction.
+type Fig4Result struct {
+	Rows []Fig4Row
+}
+
+// Fig4 computes the Figure 4 breakdown for the Table 2 models plus the
+// futuristic 1T/10T configurations, for training and prompt inference.
+func Fig4(setup Setup) (*Fig4Result, error) {
+	if err := setup.Validate(); err != nil {
+		return nil, err
+	}
+	hw := setup.HW()
+	res := &Fig4Result{}
+	models := append(append([]transformer.Model{}, transformer.Models...), transformer.FuturisticModels...)
+	for _, m := range models {
+		for _, tp := range m.TPDegrees {
+			for _, phase := range []transformer.Phase{transformer.Training, transformer.PromptInference} {
+				it, err := transformer.NewIterationModel(m, tp, phase, hw)
+				if err != nil {
+					return nil, err
+				}
+				total := float64(it.LayerTotal())
+				row := Fig4Row{Model: m.Name, TP: tp, Phase: phase}
+				for _, s := range it.Sub {
+					row.SlicedGEMMFrac += float64(s.GEMM) / total
+					row.RSFrac += float64(s.RS) / total
+					row.AGFrac += float64(s.AG) / total
+				}
+				row.OtherFrac = float64(it.Other) / total
+				res.Rows = append(res.Rows, row)
+			}
+		}
+	}
+	return res, nil
+}
+
+// Render formats the result like the paper's stacked bars.
+func (r *Fig4Result) Render() string {
+	t := &Table{
+		Title:  "Figure 4: time in sliced GEMM->AR sub-layers vs other operations",
+		Header: []string{"model", "TP", "phase", "slicedGEMM", "RS", "AG", "other", "comm total"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Model, fmt.Sprintf("%d", row.TP), row.Phase.String(),
+			pct(row.SlicedGEMMFrac), pct(row.RSFrac), pct(row.AGFrac),
+			pct(row.OtherFrac), pct(row.CommFrac()))
+	}
+	t.AddFooter("paper: Mega-GPT-2/T-NLG spend up to 34%%/43%% on communication; very large models up to 46%%")
+	return t.String()
+}
+
+func pct(f float64) string { return fmt.Sprintf("%.1f%%", 100*f) }

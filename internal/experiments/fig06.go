@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"fmt"
+
+	"t3sim/internal/collective"
+	"t3sim/internal/stats"
+	"t3sim/internal/transformer"
+	"t3sim/internal/units"
+)
+
+// Fig6Split is one CU partition of the §3.2.1 study: the GEMM gets A CUs and
+// the all-reduce kernel gets B CUs.
+type Fig6Split struct {
+	GEMMCUs int
+	ARCUs   int
+}
+
+// String renders "72-8" style labels; the ideal split renders "ideal".
+func (s Fig6Split) String() string {
+	if s.ARCUs == 0 {
+		return "ideal"
+	}
+	return fmt.Sprintf("%d-%d", s.GEMMCUs, s.ARCUs)
+}
+
+// Fig6Row is one (layer, split) bar group of Figure 6.
+type Fig6Row struct {
+	Case  SubCase
+	Split Fig6Split
+	// GEMM and AR are the isolated times under the split.
+	GEMM units.Time
+	AR   units.Time
+	// GEMMSlowdown / ARSlowdown are relative to full-GPU isolated runs.
+	GEMMSlowdown float64
+	ARSlowdown   float64
+	// PotentialSpeedup is (GEMM80 + AR80) / max(GEMM_A, AR_B): what
+	// overlapping in software with this CU split could achieve at best.
+	PotentialSpeedup float64
+}
+
+// Fig6Result is the Figure 6 reproduction.
+type Fig6Result struct {
+	Rows []Fig6Row
+	// GeomeanSpeedup per split label.
+	GeomeanSpeedup map[string]float64
+}
+
+// Fig6 reproduces the compute-sharing study: Mega-GPT-2 and T-NLG Attn (OP)
+// and FC-2 sub-layers at TP=8, with the GPU's 80 CUs split between the GEMM
+// and a software-overlapped all-reduce.
+func Fig6(ev *Evaluator) (*Fig6Result, error) {
+	splits := []Fig6Split{{80, 0}, {72, 8}, {64, 16}}
+	res := &Fig6Result{GeomeanSpeedup: map[string]float64{}}
+	speedups := map[string][]float64{}
+
+	var cases []SubCase
+	for _, name := range []string{"Mega-GPT-2", "T-NLG"} {
+		m, err := transformer.ModelByName(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, kind := range []transformer.SubLayerKind{transformer.OutProj, transformer.FC2} {
+			cases = append(cases, SubCase{Model: m, Kind: kind, TP: 8})
+		}
+	}
+
+	for _, c := range cases {
+		sl, err := transformer.SubLayerGEMM(c.Model, c.Kind, c.TP)
+		if err != nil {
+			return nil, err
+		}
+		g80, _, err := ev.isolatedGEMMOnCUs(sl, false, 80)
+		if err != nil {
+			return nil, err
+		}
+		ar80, err := ev.analyticAR(sl.ARBytes, c.TP, 80)
+		if err != nil {
+			return nil, err
+		}
+		for _, split := range splits {
+			row := Fig6Row{Case: c, Split: split}
+			if split.ARCUs == 0 {
+				// Ideal: GEMM keeps the whole GPU and the AR is free.
+				row.GEMM, row.AR = g80, ar80
+				row.GEMMSlowdown, row.ARSlowdown = 1, 1
+				row.PotentialSpeedup = float64(g80+ar80) / float64(maxTime(g80, ar80))
+			} else {
+				g, _, err := ev.isolatedGEMMOnCUs(sl, false, split.GEMMCUs)
+				if err != nil {
+					return nil, err
+				}
+				ar, err := ev.analyticAR(sl.ARBytes, c.TP, split.ARCUs)
+				if err != nil {
+					return nil, err
+				}
+				row.GEMM, row.AR = g, ar
+				row.GEMMSlowdown = float64(g) / float64(g80)
+				row.ARSlowdown = float64(ar) / float64(ar80)
+				row.PotentialSpeedup = float64(g80+ar80) / float64(maxTime(g, ar))
+			}
+			res.Rows = append(res.Rows, row)
+			speedups[split.String()] = append(speedups[split.String()], row.PotentialSpeedup)
+		}
+	}
+	for label, xs := range speedups {
+		g, err := stats.Geomean(xs)
+		if err != nil {
+			return nil, err
+		}
+		res.GeomeanSpeedup[label] = g
+	}
+	return res, nil
+}
+
+// analyticAR returns the ring all-reduce time on the given CU allocation.
+func (e *Evaluator) analyticAR(bytes units.Bytes, tp, cus int) (units.Time, error) {
+	s := e.Setup
+	return collective.AnalyticRingAllReduceTime(collective.AnalyticOptions{
+		Devices:           tp,
+		TotalBytes:        bytes,
+		Link:              s.Link,
+		MemBandwidth:      s.Memory.TotalBandwidth,
+		CUs:               cus,
+		PerCUMemBandwidth: s.PerCUMemBandwidth,
+	})
+}
+
+// Render formats the study.
+func (r *Fig6Result) Render() string {
+	t := &Table{
+		Title:  "Figure 6: CU sharing between GEMM and software-overlapped AR (TP=8)",
+		Header: []string{"layer", "split", "GEMM", "AR", "GEMM slow", "AR slow", "potential speedup"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Case.String(), row.Split.String(),
+			row.GEMM.String(), row.AR.String(),
+			fmt.Sprintf("%.2fx", row.GEMMSlowdown),
+			fmt.Sprintf("%.2fx", row.ARSlowdown),
+			fmt.Sprintf("%.2fx", row.PotentialSpeedup))
+	}
+	for _, label := range []string{"ideal", "72-8", "64-16"} {
+		if g, ok := r.GeomeanSpeedup[label]; ok {
+			t.AddFooter("geomean potential speedup %-6s = %.2fx", label, g)
+		}
+	}
+	t.AddFooter("paper: ideal 1.67x geomean; 72-8 falls to 1.18x; 64-16 reaches 1.49x")
+	return t.String()
+}

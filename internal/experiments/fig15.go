@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"t3sim/internal/units"
+)
+
+// Fig15Row is one sub-layer's runtime distribution bar.
+type Fig15Row struct {
+	Case     SubCase
+	GEMM     units.Time
+	RS       units.Time
+	AG       units.Time
+	GEMMFrac float64
+	RSFrac   float64
+	AGFrac   float64
+}
+
+// Fig15Result is the Figure 15 reproduction: how each AR-feeding sub-layer's
+// sequential runtime splits between its GEMM, reduce-scatter and all-gather.
+type Fig15Result struct {
+	Rows []Fig15Row
+}
+
+// Fig15 computes the distribution for the Mega-GPT-2 and T-NLG cases.
+func Fig15(ev *Evaluator) (*Fig15Result, error) {
+	return fig15For(ev, SmallModelCases())
+}
+
+func fig15For(ev *Evaluator, cases []SubCase) (*Fig15Result, error) {
+	res := &Fig15Result{}
+	for _, c := range cases {
+		r, err := ev.Evaluate(c)
+		if err != nil {
+			return nil, err
+		}
+		total := float64(r.Sequential)
+		res.Rows = append(res.Rows, Fig15Row{
+			Case:     c,
+			GEMM:     r.GEMM,
+			RS:       r.RS,
+			AG:       r.AG,
+			GEMMFrac: float64(r.GEMM) / total,
+			RSFrac:   float64(r.RS) / total,
+			AGFrac:   float64(r.AG) / total,
+		})
+	}
+	return res, nil
+}
+
+// Render formats the stacked distribution.
+func (r *Fig15Result) Render() string {
+	t := &Table{
+		Title:  "Figure 15: sub-layer runtime distribution (sequential baseline)",
+		Header: []string{"sub-layer", "GEMM", "RS", "AG", "GEMM%", "RS%", "AG%"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Case.String(), row.GEMM.String(), row.RS.String(), row.AG.String(),
+			pct(row.GEMMFrac), pct(row.RSFrac), pct(row.AGFrac))
+	}
+	t.AddFooter("paper: FC sub-layers are GEMM-heavy; OP sub-layers are collective-heavy;")
+	t.AddFooter("collective share grows with TP degree")
+	return t.String()
+}

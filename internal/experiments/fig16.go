@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+
+	"t3sim/internal/stats"
+)
+
+// Fig16Row is one sub-layer's speedup group.
+type Fig16Row struct {
+	Case         SubCase
+	T3           float64
+	T3MCA        float64
+	IdealOverlap float64
+	IdealRSNMC   float64
+}
+
+// Fig16Result is the Figure 16 reproduction: per-sub-layer speedups of T3,
+// T3-MCA and the two ideal bounds over sequential execution.
+type Fig16Result struct {
+	Rows []Fig16Row
+
+	GeomeanT3    float64
+	GeomeanMCA   float64
+	GeomeanIdeal float64
+	MaxMCA       float64
+}
+
+// Fig16 computes the speedups for the Mega-GPT-2 and T-NLG cases.
+func Fig16(ev *Evaluator) (*Fig16Result, error) {
+	return fig16For(ev, SmallModelCases())
+}
+
+// Fig16Large computes the same comparison for the §6.4 large models (GPT-3,
+// PALM, MT-NLG at TP=32).
+func Fig16Large(ev *Evaluator) (*Fig16Result, error) {
+	return fig16For(ev, LargeModelCases())
+}
+
+func fig16For(ev *Evaluator, cases []SubCase) (*Fig16Result, error) {
+	res := &Fig16Result{}
+	var t3s, mcas, ideals []float64
+	for _, c := range cases {
+		r, err := ev.Evaluate(c)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig16Row{
+			Case:         c,
+			T3:           r.SpeedupT3(),
+			T3MCA:        r.SpeedupT3MCA(),
+			IdealOverlap: r.SpeedupIdeal(),
+			IdealRSNMC:   r.SpeedupIdealNMC(),
+		}
+		res.Rows = append(res.Rows, row)
+		t3s = append(t3s, row.T3)
+		mcas = append(mcas, row.T3MCA)
+		ideals = append(ideals, row.IdealOverlap)
+		if row.T3MCA > res.MaxMCA {
+			res.MaxMCA = row.T3MCA
+		}
+	}
+	var err error
+	if res.GeomeanT3, err = stats.Geomean(t3s); err != nil {
+		return nil, err
+	}
+	if res.GeomeanMCA, err = stats.Geomean(mcas); err != nil {
+		return nil, err
+	}
+	if res.GeomeanIdeal, err = stats.Geomean(ideals); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Render formats the speedup groups.
+func (r *Fig16Result) Render() string {
+	t := &Table{
+		Title:  "Figure 16: sub-layer speedups over sequential GEMM->RS->AG",
+		Header: []string{"sub-layer", "T3", "T3-MCA", "Ideal-GEMM-RS-Overlap", "Ideal-RS+NMC"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Case.String(),
+			fmt.Sprintf("%.2fx", row.T3),
+			fmt.Sprintf("%.2fx", row.T3MCA),
+			fmt.Sprintf("%.2fx", row.IdealOverlap),
+			fmt.Sprintf("%.2fx", row.IdealRSNMC))
+	}
+	t.AddFooter("geomean: T3 %.2fx, T3-MCA %.2fx (max %.2fx), ideal overlap %.2fx",
+		r.GeomeanT3, r.GeomeanMCA, r.MaxMCA, r.GeomeanIdeal)
+	t.AddFooter("paper: T3 1.20x geomean; T3-MCA 1.30x geomean (max 1.47x); ideal 1.35x geomean")
+	return t.String()
+}

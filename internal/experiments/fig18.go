@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+
+	"t3sim/internal/stats"
+)
+
+// Fig18Row is one sub-layer's DRAM access comparison.
+type Fig18Row struct {
+	Case     SubCase
+	Baseline DRAMBreakdown
+	T3       DRAMBreakdown
+	// Reduction is 1 − T3/baseline total bytes.
+	Reduction float64
+	// RSReadRatio is baseline RS reads / T3 collective reads.
+	RSReadRatio float64
+	// GEMMReadRatio is baseline GEMM reads / T3 GEMM reads.
+	GEMMReadRatio float64
+	// WriteRatio is baseline writes / T3 writes+updates (GEMM+RS side).
+	WriteRatio float64
+}
+
+// Fig18Result is the Figure 18 reproduction: per-sub-layer DRAM traffic and
+// the data-movement reductions T3 achieves.
+type Fig18Result struct {
+	Rows []Fig18Row
+
+	GeomeanReduction float64
+	MaxReduction     float64
+	GeomeanRSRead    float64
+	GeomeanGEMMRead  float64
+	GeomeanWrite     float64
+}
+
+// Fig18 computes the traffic comparison for the Mega-GPT-2 and T-NLG cases.
+func Fig18(ev *Evaluator) (*Fig18Result, error) {
+	res := &Fig18Result{}
+	var reds, rsr, gr, wr []float64
+	for _, c := range SmallModelCases() {
+		r, err := ev.Evaluate(c)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig18Row{
+			Case:      c,
+			Baseline:  r.BaselineDRAM,
+			T3:        r.T3DRAM,
+			Reduction: r.DataMovementReduction(),
+		}
+		row.RSReadRatio = ratio(float64(r.BaselineDRAM.RSReads), float64(r.T3DRAM.RSReads))
+		row.GEMMReadRatio = ratio(float64(r.BaselineDRAM.GEMMReads), float64(r.T3DRAM.GEMMReads))
+		baseW := float64(r.BaselineDRAM.GEMMWrites + r.BaselineDRAM.RSWrites)
+		t3W := float64(r.T3DRAM.GEMMWrites + r.T3DRAM.RSWrites)
+		row.WriteRatio = ratio(baseW, t3W)
+		res.Rows = append(res.Rows, row)
+		reds = append(reds, 1-row.Reduction) // geomean over remaining fraction
+		rsr = append(rsr, row.RSReadRatio)
+		gr = append(gr, row.GEMMReadRatio)
+		wr = append(wr, row.WriteRatio)
+		if row.Reduction > res.MaxReduction {
+			res.MaxReduction = row.Reduction
+		}
+	}
+	g, err := stats.Geomean(reds)
+	if err != nil {
+		return nil, err
+	}
+	res.GeomeanReduction = 1 - g
+	if res.GeomeanRSRead, err = stats.Geomean(rsr); err != nil {
+		return nil, err
+	}
+	if res.GeomeanGEMMRead, err = stats.Geomean(gr); err != nil {
+		return nil, err
+	}
+	if res.GeomeanWrite, err = stats.Geomean(wr); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func ratio(a, b float64) float64 {
+	if b == 0 {
+		return 1
+	}
+	return a / b
+}
+
+// Render formats the per-sub-layer access breakdown.
+func (r *Fig18Result) Render() string {
+	t := &Table{
+		Title: "Figure 18: DRAM accesses per sub-layer (per device)",
+		Header: []string{"sub-layer", "base total", "T3 total", "reduction",
+			"RS rd ratio", "GEMM rd ratio", "write ratio"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Case.String(),
+			row.Baseline.Total().String(), row.T3.Total().String(),
+			pct(row.Reduction),
+			fmt.Sprintf("%.2fx", row.RSReadRatio),
+			fmt.Sprintf("%.2fx", row.GEMMReadRatio),
+			fmt.Sprintf("%.2fx", row.WriteRatio))
+	}
+	t.AddFooter("geomean reduction %.1f%% (max %.1f%%); RS reads /%.2f; GEMM reads /%.2f; writes /%.2f",
+		100*r.GeomeanReduction, 100*r.MaxReduction, r.GeomeanRSRead, r.GeomeanGEMMRead, r.GeomeanWrite)
+	t.AddFooter("paper: 22%% geomean reduction (max 36%%); RS reads /2.4; GEMM reads /1.56; writes /1.1")
+	return t.String()
+}

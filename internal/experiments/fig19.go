@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"fmt"
+
+	"t3sim/internal/stats"
+	"t3sim/internal/transformer"
+	"t3sim/internal/units"
+)
+
+// Fig19Row is one model/TP/phase end-to-end speedup pair.
+type Fig19Row struct {
+	Model string
+	TP    int
+	Phase transformer.Phase
+	T3    float64
+	T3MCA float64
+}
+
+// Fig19Result is the Figure 19 reproduction: end-to-end iteration speedups
+// from accelerating the AR-feeding sub-layers with T3 and T3-MCA.
+type Fig19Result struct {
+	Rows []Fig19Row
+
+	GeomeanTrainT3   float64
+	GeomeanTrainMCA  float64
+	MaxTrainMCA      float64
+	GeomeanInferT3   float64
+	GeomeanInferMCA  float64
+	MaxInferMCA      float64
+	includesLargeTPs bool
+}
+
+// Fig19 computes end-to-end speedups for Mega-GPT-2 and T-NLG (TP 8 and 16).
+func Fig19(ev *Evaluator) (*Fig19Result, error) {
+	return fig19For(ev, []string{"Mega-GPT-2", "T-NLG"})
+}
+
+// Fig19Large covers the §6.4 large models at TP=32.
+func Fig19Large(ev *Evaluator) (*Fig19Result, error) {
+	r, err := fig19For(ev, []string{"GPT-3", "PALM", "MT-NLG"})
+	if err != nil {
+		return nil, err
+	}
+	r.includesLargeTPs = true
+	return r, nil
+}
+
+func fig19For(ev *Evaluator, names []string) (*Fig19Result, error) {
+	hw := ev.Setup.HW()
+	res := &Fig19Result{}
+	var trT3, trMCA, inT3, inMCA []float64
+	for _, name := range names {
+		m, err := transformer.ModelByName(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, tp := range m.TPDegrees {
+			// Following the paper's methodology (§5.1.2), the baseline
+			// breakdown's GEMM+RS portions are scaled by the simulated
+			// speedups: fused = (GEMM+RS)_analytic / speedup_simulated, with
+			// the all-gather left serialized.
+			ratioT3 := map[transformer.SubLayerKind]float64{}
+			ratioMCA := map[transformer.SubLayerKind]float64{}
+			for _, kind := range transformer.AllSubLayers {
+				r, err := ev.Evaluate(SubCase{Model: m, Kind: kind, TP: tp})
+				if err != nil {
+					return nil, err
+				}
+				seqPortion := float64(r.GEMM + r.RS)
+				ratioT3[kind] = float64(r.T3-r.AG) / seqPortion
+				ratioMCA[kind] = float64(r.T3MCA-r.AG) / seqPortion
+			}
+			for _, phase := range []transformer.Phase{transformer.Training, transformer.PromptInference} {
+				it, err := transformer.NewIterationModel(m, tp, phase, hw)
+				if err != nil {
+					return nil, err
+				}
+				fusedT3 := map[transformer.SubLayerKind]units.Time{}
+				fusedMCA := map[transformer.SubLayerKind]units.Time{}
+				for kind, s := range it.Sub {
+					portion := float64(s.GEMM + s.RS)
+					fusedT3[kind] = units.Time(portion * ratioT3[kind])
+					fusedMCA[kind] = units.Time(portion * ratioMCA[kind])
+				}
+				row := Fig19Row{
+					Model: m.Name, TP: tp, Phase: phase,
+					T3:    it.Speedup(fusedT3),
+					T3MCA: it.Speedup(fusedMCA),
+				}
+				res.Rows = append(res.Rows, row)
+				if phase == transformer.Training {
+					trT3 = append(trT3, row.T3)
+					trMCA = append(trMCA, row.T3MCA)
+					if row.T3MCA > res.MaxTrainMCA {
+						res.MaxTrainMCA = row.T3MCA
+					}
+				} else {
+					inT3 = append(inT3, row.T3)
+					inMCA = append(inMCA, row.T3MCA)
+					if row.T3MCA > res.MaxInferMCA {
+						res.MaxInferMCA = row.T3MCA
+					}
+				}
+			}
+		}
+	}
+	var gerr error
+	if res.GeomeanTrainT3, gerr = stats.Geomean(trT3); gerr != nil {
+		return nil, gerr
+	}
+	if res.GeomeanTrainMCA, gerr = stats.Geomean(trMCA); gerr != nil {
+		return nil, gerr
+	}
+	if res.GeomeanInferT3, gerr = stats.Geomean(inT3); gerr != nil {
+		return nil, gerr
+	}
+	if res.GeomeanInferMCA, gerr = stats.Geomean(inMCA); gerr != nil {
+		return nil, gerr
+	}
+	return res, nil
+}
+
+// Render formats the end-to-end speedups.
+func (r *Fig19Result) Render() string {
+	t := &Table{
+		Title:  "Figure 19: end-to-end model speedups",
+		Header: []string{"model", "TP", "phase", "T3", "T3-MCA"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Model, fmt.Sprintf("%d", row.TP), row.Phase.String(),
+			fmt.Sprintf("%.3fx", row.T3), fmt.Sprintf("%.3fx", row.T3MCA))
+	}
+	t.AddFooter("training geomean: T3 %.3fx, T3-MCA %.3fx (max %.3fx)",
+		r.GeomeanTrainT3, r.GeomeanTrainMCA, r.MaxTrainMCA)
+	t.AddFooter("prompt geomean:  T3 %.3fx, T3-MCA %.3fx (max %.3fx)",
+		r.GeomeanInferT3, r.GeomeanInferMCA, r.MaxInferMCA)
+	t.AddFooter("paper: training up to 9%%/12%% (T3/T3-MCA), prompt up to 12%%/15%%")
+	return t.String()
+}

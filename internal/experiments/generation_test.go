@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGenerationPhase(t *testing.T) {
+	res, err := Generation(evaluator(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 models x 2 TP degrees x 2 sub-layers.
+	if len(res.Rows) != 8 {
+		t.Fatalf("rows = %d, want 8", len(res.Rows))
+	}
+	if len(res.EndToEnd) != 4 {
+		t.Fatalf("end-to-end rows = %d, want 4", len(res.EndToEnd))
+	}
+	for _, row := range res.Rows {
+		// Decode all-reduces are latency-bound and tiny relative to the
+		// weight-streaming GEMV (§7.3).
+		if row.RS >= row.GEMV {
+			t.Errorf("%s/%v TP%d: RS %v not below GEMV %v", row.Model, row.Kind, row.TP, row.RS, row.GEMV)
+		}
+		// Single-stage GEMVs give the stage-granular model no production to
+		// overlap, so fusing is near break-even: it must not lose more than
+		// the small NMC/chain overheads (see EXPERIMENTS.md §7.3 note).
+		if row.Speedup < 0.95 || row.Speedup > 1.1 {
+			t.Errorf("%s/%v TP%d: speedup %.3f outside break-even band", row.Model, row.Kind, row.TP, row.Speedup)
+		}
+	}
+	// Higher TP slices the weights further: per-token GEMV time must drop —
+	// the aggregate-memory-bandwidth argument of §7.3.
+	for _, model := range []string{"Mega-GPT-2", "T-NLG"} {
+		var tp8, tp16 GenerationRow
+		for _, row := range res.Rows {
+			if row.Model == model && row.Kind.String() == "FC2-fwd" {
+				if row.TP == 8 {
+					tp8 = row
+				} else {
+					tp16 = row
+				}
+			}
+		}
+		if tp16.GEMV >= tp8.GEMV {
+			t.Errorf("%s: FC2 GEMV at TP16 (%v) not below TP8 (%v)", model, tp16.GEMV, tp8.GEMV)
+		}
+	}
+	out := res.Render()
+	if !strings.Contains(out, "Generation phase") || !strings.Contains(out, "decode-step") {
+		t.Error("render incomplete")
+	}
+}

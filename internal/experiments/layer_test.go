@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLayerValidation(t *testing.T) {
+	res, err := LayerValidation(DefaultSetup())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 11 {
+		t.Fatalf("rows = %d, want 11 operators", len(res.Rows))
+	}
+	// The two modeling layers must agree: the DES adds read-phase
+	// serialization and stage quantization the closed-form model folds into
+	// its efficiency constant, so GEMMs may run somewhat slower in the DES;
+	// memory-bound operators and collectives must agree tightly.
+	for _, row := range res.Rows {
+		switch {
+		case strings.Contains(row.Name, "all-reduce"),
+			strings.Contains(row.Name, "softmax"),
+			strings.Contains(row.Name, "GeLU"),
+			strings.Contains(row.Name, "residual"):
+			if row.RelError > 0.02 {
+				t.Errorf("%s: %.1f%% error, want <= 2%%", row.Name, 100*row.RelError)
+			}
+		default: // GEMMs
+			if row.RelError > 0.40 {
+				t.Errorf("%s: %.1f%% error, want <= 40%%", row.Name, 100*row.RelError)
+			}
+		}
+	}
+	if res.TotalRelError > 0.15 {
+		t.Errorf("layer total error %.1f%%, want <= 15%%", 100*res.TotalRelError)
+	}
+	if !strings.Contains(res.Render(), "Layer validation") {
+		t.Error("render missing title")
+	}
+}

@@ -1,0 +1,27 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMirrorValidation(t *testing.T) {
+	res, err := MirrorValidation(DefaultSetup())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(res.Rows))
+	}
+	if res.GeomeanErr > 0.05 {
+		t.Errorf("mirror vs explicit geomean error %.2f%%, want <= 5%%", 100*res.GeomeanErr)
+	}
+	for _, row := range res.Rows {
+		if float64(row.Skew) > 0.02*float64(row.Multi) {
+			t.Errorf("n=%d: device skew %v too large for homogeneity", row.Devices, row.Skew)
+		}
+	}
+	if !strings.Contains(res.Render(), "Mirror") {
+		t.Error("render missing title")
+	}
+}

@@ -1,0 +1,234 @@
+package experiments
+
+import (
+	"fmt"
+
+	"t3sim/internal/collective"
+	"t3sim/internal/gpu"
+	"t3sim/internal/memory"
+	"t3sim/internal/sim"
+	"t3sim/internal/t3core"
+	"t3sim/internal/transformer"
+	"t3sim/internal/units"
+)
+
+// DRAMBreakdown itemizes a configuration's per-device DRAM traffic the way
+// Figure 18 stacks it.
+type DRAMBreakdown struct {
+	GEMMReads  units.Bytes
+	GEMMWrites units.Bytes // plain writes or NMC updates
+	RSReads    units.Bytes
+	RSWrites   units.Bytes // staging writes or NMC updates
+	AGReads    units.Bytes
+	AGWrites   units.Bytes
+}
+
+// Total sums the breakdown.
+func (b DRAMBreakdown) Total() units.Bytes {
+	return b.GEMMReads + b.GEMMWrites + b.RSReads + b.RSWrites + b.AGReads + b.AGWrites
+}
+
+// SublayerResult is everything the sub-layer figures need for one case.
+type SublayerResult struct {
+	Case SubCase
+
+	// Baseline isolated times.
+	GEMM  units.Time
+	RS    units.Time
+	RSNMC units.Time
+	AG    units.Time
+
+	// Scheme completion times for GEMM→RS→AG (§5.3 configurations).
+	Sequential   units.Time
+	T3           units.Time
+	T3MCA        units.Time
+	IdealOverlap units.Time
+	IdealRSNMC   units.Time
+
+	// Figure 18 traffic.
+	BaselineDRAM DRAMBreakdown
+	T3DRAM       DRAMBreakdown
+
+	// Fused-run diagnostics.
+	TrackerMaxLive int
+	MCAThreshold   int
+}
+
+// SpeedupT3 returns Sequential/T3.
+func (r SublayerResult) SpeedupT3() float64 { return float64(r.Sequential) / float64(r.T3) }
+
+// SpeedupT3MCA returns Sequential/T3MCA.
+func (r SublayerResult) SpeedupT3MCA() float64 { return float64(r.Sequential) / float64(r.T3MCA) }
+
+// SpeedupIdeal returns Sequential/IdealOverlap.
+func (r SublayerResult) SpeedupIdeal() float64 {
+	return float64(r.Sequential) / float64(r.IdealOverlap)
+}
+
+// SpeedupIdealNMC returns Sequential/IdealRSNMC.
+func (r SublayerResult) SpeedupIdealNMC() float64 {
+	return float64(r.Sequential) / float64(r.IdealRSNMC)
+}
+
+// DataMovementReduction returns 1 − T3bytes/baselineBytes.
+func (r SublayerResult) DataMovementReduction() float64 {
+	return 1 - float64(r.T3DRAM.Total())/float64(r.BaselineDRAM.Total())
+}
+
+// Evaluator runs and memoizes sub-layer evaluations so Figures 15–19 share
+// one set of simulations.
+type Evaluator struct {
+	Setup Setup
+	cache map[string]SublayerResult
+}
+
+// NewEvaluator returns an evaluator for the setup.
+func NewEvaluator(s Setup) (*Evaluator, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &Evaluator{Setup: s, cache: map[string]SublayerResult{}}, nil
+}
+
+// Evaluate runs (or returns the cached) full scheme comparison for one case.
+func (e *Evaluator) Evaluate(c SubCase) (SublayerResult, error) {
+	key := c.String()
+	if r, ok := e.cache[key]; ok {
+		return r, nil
+	}
+	r, err := e.evaluate(c)
+	if err != nil {
+		return SublayerResult{}, fmt.Errorf("%s: %w", key, err)
+	}
+	e.cache[key] = r
+	return r, nil
+}
+
+func (e *Evaluator) evaluate(c SubCase) (SublayerResult, error) {
+	s := e.Setup
+	sl, err := transformer.SubLayerGEMM(c.Model, c.Kind, c.TP)
+	if err != nil {
+		return SublayerResult{}, err
+	}
+	res := SublayerResult{Case: c}
+
+	// Isolated baseline GEMM on the discrete-event simulator.
+	gemmTime, gemmReads, err := e.isolatedGEMM(sl, false)
+	if err != nil {
+		return SublayerResult{}, err
+	}
+	res.GEMM = gemmTime
+
+	// Baseline collectives from the validated analytic model (Figure 14).
+	colOpts := collective.AnalyticOptions{
+		Devices:           c.TP,
+		TotalBytes:        sl.ARBytes,
+		Link:              s.Link,
+		MemBandwidth:      s.Memory.TotalBandwidth,
+		CUs:               s.CollectiveCUs,
+		PerCUMemBandwidth: s.PerCUMemBandwidth,
+	}
+	if res.RS, err = collective.AnalyticRingReduceScatterTime(colOpts); err != nil {
+		return SublayerResult{}, err
+	}
+	nmcOpts := colOpts
+	nmcOpts.NMC = true
+	if res.RSNMC, err = collective.AnalyticRingReduceScatterTime(nmcOpts); err != nil {
+		return SublayerResult{}, err
+	}
+	if res.AG, err = collective.AnalyticRingAllGatherTime(colOpts); err != nil {
+		return SublayerResult{}, err
+	}
+
+	res.Sequential = res.GEMM + res.RS + res.AG
+	res.IdealOverlap = maxTime(res.GEMM, res.RS) + res.AG
+	res.IdealRSNMC = maxTime(res.GEMM, res.RSNMC) + res.AG
+
+	// Fused runs: T3 (round-robin MC arbitration) and T3-MCA.
+	fusedOpts := t3core.FusedOptions{
+		GPU:         s.GPU,
+		Memory:      s.Memory,
+		Link:        s.Link,
+		Tracker:     s.Tracker,
+		Devices:     c.TP,
+		Grid:        sl.Grid,
+		Collective:  t3core.RingReduceScatter,
+		Arbitration: t3core.ArbRoundRobin,
+	}
+	t3res, err := t3core.RunFusedGEMMRS(fusedOpts)
+	if err != nil {
+		return SublayerResult{}, err
+	}
+	res.T3 = t3res.Done + res.AG
+	res.TrackerMaxLive = t3res.TrackerMaxLive
+
+	fusedOpts.Arbitration = t3core.ArbMCA
+	mcaRes, err := t3core.RunFusedGEMMRS(fusedOpts)
+	if err != nil {
+		return SublayerResult{}, err
+	}
+	res.T3MCA = mcaRes.Done + res.AG
+	res.MCAThreshold = mcaRes.MCAThreshold
+
+	// Figure 18 traffic accounting.
+	out := sl.ARBytes
+	chunk := units.Bytes(int64(out) / int64(c.TP))
+	n := units.Bytes(int64(c.TP))
+	res.BaselineDRAM = DRAMBreakdown{
+		GEMMReads:  gemmReads,
+		GEMMWrites: out,
+		// Ring-RS per device (Figure 10a): 2(N−1)−1 rotation reads plus the
+		// final reduction's 2 reads; N−1 staging writes plus the final write.
+		RSReads:  chunk * (2*(n-1) - 1 + 2),
+		RSWrites: chunk * n,
+		AGReads:  chunk * (n - 1),
+		AGWrites: chunk * (n - 1),
+	}
+	res.T3DRAM = DRAMBreakdown{
+		GEMMReads:  mcaRes.DRAM.Bytes[memory.Read][memory.StreamCompute],
+		GEMMWrites: mcaRes.DRAM.Bytes[memory.Update][memory.StreamCompute],
+		RSReads:    mcaRes.DRAM.Bytes[memory.Read][memory.StreamComm],
+		RSWrites:   mcaRes.DRAM.Bytes[memory.Update][memory.StreamComm],
+		AGReads:    chunk * (n - 1),
+		AGWrites:   chunk * (n - 1),
+	}
+	return res, nil
+}
+
+// isolatedGEMM runs the baseline GEMM alone and returns its duration and
+// DRAM read bytes. cuSplit (0 = all CUs) supports the Figure 6 study.
+func (e *Evaluator) isolatedGEMM(sl transformer.SubLayer, bypassLLC bool) (units.Time, units.Bytes, error) {
+	return e.isolatedGEMMOnCUs(sl, bypassLLC, 0)
+}
+
+func (e *Evaluator) isolatedGEMMOnCUs(sl transformer.SubLayer, bypassLLC bool, cus int) (units.Time, units.Bytes, error) {
+	s := e.Setup
+	eng := sim.NewEngine()
+	mc, err := memory.NewController(eng, s.Memory, memory.ComputeFirst{})
+	if err != nil {
+		return 0, 0, err
+	}
+	k := &gpu.GEMMKernel{
+		Eng:               eng,
+		Mem:               mc,
+		GPU:               s.GPU,
+		Grid:              sl.Grid,
+		CUs:               cus,
+		OutputBypassesLLC: bypassLLC,
+	}
+	if err := k.Start(nil); err != nil {
+		return 0, 0, err
+	}
+	eng.Run()
+	return k.Finished(), mc.Counters().KindBytes(memory.Read), nil
+}
+
+func maxTime(ts ...units.Time) units.Time {
+	m := ts[0]
+	for _, t := range ts[1:] {
+		if t > m {
+			m = t
+		}
+	}
+	return m
+}

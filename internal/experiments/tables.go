@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"fmt"
+
+	"t3sim/internal/transformer"
+)
+
+// Table1 renders the simulation setup (the paper's Table 1) as configured.
+func Table1(setup Setup) string {
+	t := &Table{
+		Title:  "Table 1: simulation setup",
+		Header: []string{"parameter", "value"},
+	}
+	t.AddRow("GPUs (TP degrees)", "8, 16, 32")
+	t.AddRow("inter-GPU interconnect", fmt.Sprintf("ring, %v per direction, %v latency",
+		setup.Link.LinkBandwidth, setup.Link.LinkLatency))
+	t.AddRow("CUs", fmt.Sprintf("%d @ %v", setup.GPU.CUs, setup.GPU.Clock))
+	t.AddRow("peak FP16", fmt.Sprintf("%.1f TFLOP/s", setup.GPU.PeakFlops()/1e12))
+	t.AddRow("max WGs per CU", fmt.Sprintf("%d", setup.GPU.MaxWGsPerCU))
+	t.AddRow("LLC", setup.GPU.LLCBytes.String())
+	t.AddRow("HBM", fmt.Sprintf("%v over %d channels, queue depth %d",
+		setup.Memory.TotalBandwidth, setup.Memory.Channels, setup.Memory.QueueDepth))
+	t.AddRow("NMC update cost", fmt.Sprintf("%.1fx write service (CCDWL)", setup.Memory.UpdateFactor))
+	t.AddRow("tracker", fmt.Sprintf("%d sets x %d ways", setup.Tracker.Sets, setup.Tracker.Ways))
+	t.AddRow("per-CU memory throughput", setup.PerCUMemBandwidth.String())
+	return t.String()
+}
+
+// Table2 renders the studied models (the paper's Table 2).
+func Table2() string {
+	t := &Table{
+		Title:  "Table 2: studied models",
+		Header: []string{"model", "hidden", "layers", "tokens", "params", "TP degrees"},
+	}
+	all := append(append([]transformer.Model{}, transformer.Models...), transformer.FuturisticModels...)
+	for _, m := range all {
+		t.AddRow(m.Name,
+			fmt.Sprintf("%d", m.Hidden),
+			fmt.Sprintf("%d", m.Layers),
+			fmt.Sprintf("%d", m.Tokens()),
+			fmt.Sprintf("%.0fB", float64(m.Params())/1e9),
+			fmt.Sprintf("%v", m.TPDegrees))
+	}
+	return t.String()
+}
+
+// Table3 renders the qualitative prior-work comparison (the paper's Table 3).
+func Table3() string {
+	t := &Table{
+		Title: "Table 3: qualitative comparison with prior approaches",
+		Header: []string{"approach", "transparent", "overlaps comm", "reduces contention",
+			"no extra accel", "topology-indep"},
+	}
+	t.AddRow("In-switch (Klenk et al.)", "yes", "no", "no", "no", "no")
+	t.AddRow("ACE (Rashidi et al.)", "yes", "no", "yes", "no", "yes")
+	t.AddRow("CoCoNet (Jangda et al.)", "no", "yes", "no", "yes", "yes")
+	t.AddRow("Google decomposition", "no", "yes", "no", "yes", "yes")
+	t.AddRow("T3-MCA (this work)", "yes", "yes", "yes", "yes", "yes")
+	return t.String()
+}

@@ -1,0 +1,43 @@
+package gemm
+
+// Efficiency estimates the fraction of peak MAC throughput a tiled kernel
+// sustains for a given launch. It captures the three first-order effects the
+// paper's GEMM selection exhibits (§5.2, §6.1):
+//
+//   - K-dimension reuse: short-K GEMMs (the result of tensor-parallel
+//     slicing) re-load operands more often per MAC and run further from
+//     peak, which is why higher TP degrees make the GEMM side cheaper
+//     relative to the collective;
+//   - transposed operands stride awkwardly through memory and lose a few
+//     percent (forward-pass Transformer GEMMs read transposed weights);
+//   - partial boundary tiles waste lanes when M or N is not a multiple of
+//     the tile.
+//
+// The constants were calibrated so that large Transformer GEMMs land at
+// 50-60% of peak and K≈256 slices at 30-40%, matching the effective
+// throughputs behind the paper's Figure 15 runtime distributions.
+func Efficiency(g Grid) float64 {
+	const (
+		base  = 0.62
+		kHalf = 160.0 // K at which reuse efficiency reaches half of base
+	)
+	k := float64(g.Shape.K) / float64(g.Tiling.SplitK)
+	eff := base * k / (k + kHalf)
+
+	if g.Shape.TransA {
+		eff *= 0.97
+	}
+	if g.Shape.TransB {
+		eff *= 0.97
+	}
+
+	covered := float64(g.WGsM) * float64(g.Tiling.TileM) *
+		float64(g.WGsN) * float64(g.Tiling.TileN)
+	useful := float64(g.Shape.M) * float64(g.Shape.N)
+	eff *= useful / covered
+
+	if eff <= 0 {
+		panic("gemm: non-positive efficiency")
+	}
+	return eff
+}

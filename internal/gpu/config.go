@@ -1,0 +1,85 @@
+// Package gpu models one GPU's execution of tiled GEMM kernels at stage
+// (wave) granularity on the discrete-event simulator: each stage reads its
+// operand panels from the memory system, computes for a time set by the
+// launch's MAC efficiency, and emits a bursty write phase — the §2.5 /
+// Figure 17(a) execution shape T3's overlap is built around.
+package gpu
+
+import (
+	"fmt"
+
+	"t3sim/internal/units"
+)
+
+// Config describes the modeled GPU, mirroring Table 1 of the paper plus the
+// throughput constants the paper inherits from its Accel-Sim setup.
+type Config struct {
+	// CUs is the compute-unit count (80 in Table 1).
+	CUs int
+	// Clock is the core clock (1.4 GHz in Table 1).
+	Clock units.Frequency
+	// FlopsPerCUPerCycle is peak FP16 FLOPs (2·MACs) per CU per cycle.
+	FlopsPerCUPerCycle int
+	// MaxWGsPerCU bounds concurrent workgroups per CU for the modeled
+	// register/LDS-heavy GEMM kernels; a stage holds CUs·MaxWGsPerCU WGs.
+	MaxWGsPerCU int
+	// LLCBytes is the last-level cache capacity (16 MiB in Table 1).
+	LLCBytes units.Bytes
+	// PerCUMemBandwidth is the memory throughput one CU sustains; it bounds
+	// what a kernel confined to few CUs can move (§3.2.1).
+	PerCUMemBandwidth units.Bandwidth
+}
+
+// DefaultConfig mirrors Table 1.
+func DefaultConfig() Config {
+	return Config{
+		CUs:                80,
+		Clock:              1.4 * units.GHz,
+		FlopsPerCUPerCycle: 1024,
+		MaxWGsPerCU:        2,
+		LLCBytes:           16 * units.MiB,
+		PerCUMemBandwidth:  16 * units.GBps,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.CUs <= 0:
+		return fmt.Errorf("gpu: CUs = %d", c.CUs)
+	case c.Clock <= 0:
+		return fmt.Errorf("gpu: Clock = %v", c.Clock)
+	case c.FlopsPerCUPerCycle <= 0:
+		return fmt.Errorf("gpu: FlopsPerCUPerCycle = %d", c.FlopsPerCUPerCycle)
+	case c.MaxWGsPerCU <= 0:
+		return fmt.Errorf("gpu: MaxWGsPerCU = %d", c.MaxWGsPerCU)
+	case c.LLCBytes <= 0:
+		return fmt.Errorf("gpu: LLCBytes = %v", c.LLCBytes)
+	case c.PerCUMemBandwidth <= 0:
+		return fmt.Errorf("gpu: PerCUMemBandwidth = %v", c.PerCUMemBandwidth)
+	}
+	return nil
+}
+
+// PeakFlops returns the GPU's peak FP16 throughput in FLOP/s.
+func (c Config) PeakFlops() float64 {
+	return float64(c.CUs) * float64(c.FlopsPerCUPerCycle) * float64(c.Clock)
+}
+
+// StageWGs returns how many WGs one stage (wave) holds on cus compute units.
+func (c Config) StageWGs(cus int) int {
+	if cus <= 0 {
+		panic("gpu: non-positive CU count")
+	}
+	return cus * c.MaxWGsPerCU
+}
+
+// ComputeTime returns the duration of flops worth of MAC work on cus CUs at
+// the given sustained efficiency.
+func (c Config) ComputeTime(flops int64, cus int, efficiency float64) units.Time {
+	if cus <= 0 || efficiency <= 0 {
+		panic("gpu: non-positive CUs or efficiency")
+	}
+	rate := float64(cus) * float64(c.FlopsPerCUPerCycle) * float64(c.Clock) * efficiency
+	return units.FromSeconds(float64(flops) / rate)
+}

@@ -1,0 +1,378 @@
+package gpu
+
+import (
+	"math"
+	"testing"
+
+	"t3sim/internal/gemm"
+	"t3sim/internal/memory"
+	"t3sim/internal/sim"
+	"t3sim/internal/units"
+)
+
+func grid(t *testing.T, m, n, k int) gemm.Grid {
+	t.Helper()
+	g, err := gemm.NewGrid(gemm.Shape{M: m, N: n, K: k, ElemBytes: 2}, gemm.DefaultTiling())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func newKernel(t *testing.T, g gemm.Grid) (*sim.Engine, *GEMMKernel) {
+	t.Helper()
+	eng := sim.NewEngine()
+	mc, err := memory.NewController(eng, memory.DefaultConfig(), memory.ComputeFirst{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, &GEMMKernel{Eng: eng, Mem: mc, GPU: DefaultConfig(), Grid: g}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.CUs = 0 },
+		func(c *Config) { c.Clock = 0 },
+		func(c *Config) { c.FlopsPerCUPerCycle = 0 },
+		func(c *Config) { c.MaxWGsPerCU = 0 },
+		func(c *Config) { c.LLCBytes = 0 },
+		func(c *Config) { c.PerCUMemBandwidth = 0 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestPeakFlops(t *testing.T) {
+	c := DefaultConfig()
+	want := 80.0 * 1024 * 1.4e9 // 114.7 TFLOPs
+	if got := c.PeakFlops(); math.Abs(got-want)/want > 1e-9 {
+		t.Errorf("PeakFlops = %g, want %g", got, want)
+	}
+}
+
+func TestStageWGs(t *testing.T) {
+	c := DefaultConfig()
+	if got := c.StageWGs(80); got != 160 {
+		t.Errorf("StageWGs(80) = %d, want 160", got)
+	}
+	if got := c.StageWGs(8); got != 16 {
+		t.Errorf("StageWGs(8) = %d, want 16", got)
+	}
+}
+
+func TestComputeTime(t *testing.T) {
+	c := DefaultConfig()
+	// 114.7 TFLOP at efficiency 1 on all CUs takes one second.
+	flops := int64(c.PeakFlops())
+	got := c.ComputeTime(flops, c.CUs, 1.0)
+	if rel := math.Abs(float64(got-units.Second)) / float64(units.Second); rel > 1e-6 {
+		t.Errorf("ComputeTime = %v, want ~1s", got)
+	}
+	// Half the CUs doubles the time.
+	if got2 := c.ComputeTime(flops, c.CUs/2, 1.0); got2 < 2*got-units.Microsecond {
+		t.Errorf("half CUs gave %v, want ~2x %v", got2, got)
+	}
+}
+
+func TestReadModelColdFirstStage(t *testing.T) {
+	g := grid(t, 1024, 1024, 512)
+	m := ReadModel{Grid: g, LLC: 16 * units.MiB}
+	stages := g.Stages(160)
+	reads := m.StageReads(stages)
+	if len(reads) != len(stages) {
+		t.Fatalf("len = %d, want %d", len(reads), len(stages))
+	}
+	// First stage reads its A share plus all of B cold.
+	wantB := g.Shape.BBytes()
+	stageA := units.Bytes(int64(g.Shape.ABytes()) * int64(stages[0]) / int64(g.NumWGs))
+	if reads[0] != stageA+wantB {
+		t.Errorf("stage 0 reads = %v, want %v", reads[0], stageA+wantB)
+	}
+}
+
+func TestReadModelLLCResidentGEMMReadsOnceTotal(t *testing.T) {
+	// An OP-like GEMM whose inputs fit in the LLC streams each operand once.
+	g := grid(t, 8192, 3072, 256) // A 4MiB, B 1.5MiB
+	m := ReadModel{Grid: g, LLC: 16 * units.MiB}
+	total := m.TotalReads(g.Stages(160))
+	want := g.Shape.InputBytes()
+	if total != want {
+		t.Errorf("total reads = %v, want %v (inputs once)", total, want)
+	}
+}
+
+func TestReadModelBypassReducesReads(t *testing.T) {
+	// A large FC-like GEMM: baseline write pollution causes B re-read
+	// misses; bypassing the LLC for output removes them.
+	g := grid(t, 8192, 4352, 2176) // T-NLG FC-2-like
+	base := ReadModel{Grid: g, LLC: 16 * units.MiB}
+	bypass := ReadModel{Grid: g, LLC: 16 * units.MiB, OutputBypassesLLC: true}
+	stages := g.Stages(160)
+	b := base.TotalReads(stages)
+	p := bypass.TotalReads(stages)
+	if p >= b {
+		t.Errorf("bypass reads %v not below baseline %v", p, b)
+	}
+	if p < g.Shape.InputBytes() {
+		t.Errorf("bypass reads %v below compulsory %v", p, g.Shape.InputBytes())
+	}
+}
+
+func TestGEMMKernelCompletesAndConservesOutput(t *testing.T) {
+	g := grid(t, 2048, 2048, 512)
+	eng, k := newKernel(t, g)
+	done := false
+	if err := k.Start(func() { done = true }); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if !done {
+		t.Fatal("kernel never completed")
+	}
+	wantStages := len(g.Stages(160))
+	if len(k.Stages()) != wantStages {
+		t.Errorf("stages = %d, want %d", len(k.Stages()), wantStages)
+	}
+	// All output bytes were written exactly once.
+	writes := k.Mem.Counters().KindBytes(memory.Write)
+	if writes != g.Shape.OutputBytes() {
+		t.Errorf("writes = %v, want %v", writes, g.Shape.OutputBytes())
+	}
+	var sum units.Bytes
+	for s := range k.Stages() {
+		sum += k.StageOutputBytes(s)
+	}
+	if sum != g.Shape.OutputBytes() {
+		t.Errorf("stage output sum = %v, want %v", sum, g.Shape.OutputBytes())
+	}
+	if k.Finished() <= 0 || k.ComputeEnd() <= 0 || k.ComputeEnd() > k.Finished() {
+		t.Errorf("times: computeEnd=%v finished=%v", k.ComputeEnd(), k.Finished())
+	}
+}
+
+func TestGEMMDurationNearAnalytic(t *testing.T) {
+	// Compute-bound GEMM duration should be close to flops/(peak*eff).
+	g := grid(t, 8192, 4096, 2048)
+	eng, k := newKernel(t, g)
+	if err := k.Start(nil); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	eff := gemm.Efficiency(g)
+	want := units.FromSeconds(float64(g.Shape.FLOPs()) / (k.GPU.PeakFlops() * eff))
+	got := k.Finished()
+	rel := float64(got-want) / float64(want)
+	if rel < -0.02 || rel > 0.30 {
+		t.Errorf("duration %v vs analytic %v (%.1f%%)", got, want, rel*100)
+	}
+}
+
+func TestGEMMSlowerWithFewerCUs(t *testing.T) {
+	g := grid(t, 4096, 4096, 1024)
+	eng80, k80 := newKernel(t, g)
+	if err := k80.Start(nil); err != nil {
+		t.Fatal(err)
+	}
+	eng80.Run()
+
+	eng64, k64 := newKernel(t, g)
+	k64.CUs = 64
+	_ = eng64
+	if err := k64.Start(nil); err != nil {
+		t.Fatal(err)
+	}
+	k64.Eng.Run()
+
+	ratio := float64(k64.Finished()) / float64(k80.Finished())
+	// 64/80 CUs: ~1.25x slower (paper reports ~21% geomean for this split).
+	if ratio < 1.1 || ratio > 1.45 {
+		t.Errorf("64-CU slowdown = %.2fx, want ~1.25x", ratio)
+	}
+}
+
+func TestGEMMCustomWriteSink(t *testing.T) {
+	g := grid(t, 1024, 1024, 256)
+	eng, k := newKernel(t, g)
+	var sunk units.Bytes
+	calls := 0
+	k.WriteStage = func(stage, wgs int, bytes units.Bytes, onDone sim.Handler) {
+		calls++
+		sunk += bytes
+		onDone()
+	}
+	if err := k.Start(nil); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if sunk != g.Shape.OutputBytes() {
+		t.Errorf("sink got %v, want %v", sunk, g.Shape.OutputBytes())
+	}
+	if calls != len(k.Stages()) {
+		t.Errorf("sink called %d times, want %d", calls, len(k.Stages()))
+	}
+	// No local writes happened.
+	if w := k.Mem.Counters().KindBytes(memory.Write); w != 0 {
+		t.Errorf("unexpected local writes: %v", w)
+	}
+}
+
+func TestGEMMStageHookAndOrder(t *testing.T) {
+	g := grid(t, 2048, 1024, 256)
+	eng, k := newKernel(t, g)
+	var seen []int
+	k.OnStageComputed = func(stage, wgs int) { seen = append(seen, stage) }
+	if err := k.Start(nil); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if len(seen) != len(k.Stages()) {
+		t.Fatalf("hook ran %d times, want %d", len(seen), len(k.Stages()))
+	}
+	for i, s := range seen {
+		if s != i {
+			t.Errorf("stage order: got %v", seen)
+			break
+		}
+	}
+}
+
+func TestGEMMMonitorCalibratesMCA(t *testing.T) {
+	g := grid(t, 4096, 4096, 2048)
+	eng := sim.NewEngine()
+	mca := memory.NewMCA(memory.DefaultMCAConfig())
+	mc, err := memory.NewController(eng, memory.DefaultConfig(), mca)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := &GEMMKernel{Eng: eng, Mem: mc, GPU: DefaultConfig(), Grid: g, Monitor: true}
+	if err := k.Start(nil); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if !mca.Calibrated() {
+		t.Error("MCA not calibrated by monitor window")
+	}
+}
+
+func TestGEMMKernelValidation(t *testing.T) {
+	g := grid(t, 1024, 1024, 256)
+	_, k := newKernel(t, g)
+	k.CUs = 999
+	if err := k.Start(nil); err == nil {
+		t.Error("CUs > GPU.CUs: expected error")
+	}
+	_, k2 := newKernel(t, g)
+	k2.Eng = nil
+	if err := k2.Start(nil); err == nil {
+		t.Error("nil engine: expected error")
+	}
+	eng3, k3 := newKernel(t, g)
+	if err := k3.Start(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := k3.Start(nil); err == nil {
+		t.Error("double start: expected error")
+	}
+	eng3.Run()
+}
+
+func TestProportionalShare(t *testing.T) {
+	weights := []int{3, 3, 1}
+	var sum units.Bytes
+	for i := range weights {
+		sum += proportionalShare(700, weights, i)
+	}
+	if sum != 700 {
+		t.Errorf("shares sum to %v, want 700", sum)
+	}
+	if proportionalShare(700, weights, 0) != 300 {
+		t.Errorf("share 0 = %v, want 300", proportionalShare(700, weights, 0))
+	}
+	if proportionalShare(100, nil, 0) != 0 {
+		t.Error("empty weights should give 0")
+	}
+}
+
+func TestDoubleBufferedNeverSlower(t *testing.T) {
+	// Prefetching operands can only hide read time: the pipelined schedule
+	// completes no later than the serial read-then-compute one, and both
+	// conserve output bytes.
+	for _, shapeDims := range [][3]int{{2048, 2048, 512}, {8192, 4352, 2176}, {1024, 1024, 128}} {
+		g := grid(t, shapeDims[0], shapeDims[1], shapeDims[2])
+		engSerial, kSerial := newKernel(t, g)
+		if err := kSerial.Start(nil); err != nil {
+			t.Fatal(err)
+		}
+		engSerial.Run()
+
+		engPipe, kPipe := newKernel(t, g)
+		kPipe.DoubleBuffered = true
+		if err := kPipe.Start(nil); err != nil {
+			t.Fatal(err)
+		}
+		engPipe.Run()
+
+		if kPipe.Finished() > kSerial.Finished() {
+			t.Errorf("%v: pipelined %v slower than serial %v",
+				shapeDims, kPipe.Finished(), kSerial.Finished())
+		}
+		if w := kPipe.Mem.Counters().KindBytes(memory.Write); w != g.Shape.OutputBytes() {
+			t.Errorf("%v: pipelined writes %v, want %v", shapeDims, w, g.Shape.OutputBytes())
+		}
+		if r := kPipe.Mem.Counters().KindBytes(memory.Read); r != kSerial.Mem.Counters().KindBytes(memory.Read) {
+			t.Errorf("%v: read traffic differs between schedules", shapeDims)
+		}
+	}
+}
+
+func TestDoubleBufferedHidesReads(t *testing.T) {
+	// For a read-heavy GEMM the pipelined schedule should show a real
+	// saving: total ~ reads + compute (serial) vs ~ max per stage (pipelined).
+	g := grid(t, 8192, 4352, 2176) // large B re-reads: substantial read time
+	engSerial, kSerial := newKernel(t, g)
+	if err := kSerial.Start(nil); err != nil {
+		t.Fatal(err)
+	}
+	engSerial.Run()
+
+	engPipe, kPipe := newKernel(t, g)
+	kPipe.DoubleBuffered = true
+	if err := kPipe.Start(nil); err != nil {
+		t.Fatal(err)
+	}
+	engPipe.Run()
+
+	saving := 1 - float64(kPipe.Finished())/float64(kSerial.Finished())
+	if saving < 0.02 {
+		t.Errorf("pipelining saved only %.1f%%, want a visible read-hiding benefit", 100*saving)
+	}
+}
+
+func TestDoubleBufferedStageHookOrder(t *testing.T) {
+	g := grid(t, 2048, 1024, 256)
+	eng, k := newKernel(t, g)
+	k.DoubleBuffered = true
+	var seen []int
+	k.OnStageComputed = func(stage, wgs int) { seen = append(seen, stage) }
+	if err := k.Start(nil); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if len(seen) != len(k.Stages()) {
+		t.Fatalf("hook ran %d times, want %d", len(seen), len(k.Stages()))
+	}
+	for i, s := range seen {
+		if s != i {
+			t.Errorf("stage order: %v", seen)
+			break
+		}
+	}
+}

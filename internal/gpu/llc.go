@@ -1,0 +1,93 @@
+package gpu
+
+import (
+	"t3sim/internal/gemm"
+	"t3sim/internal/units"
+)
+
+// ReadModel computes the DRAM read traffic a staged GEMM generates under a
+// simple last-level-cache reuse model:
+//
+//   - the A operand streams once: each stage's WGs read fresh A panel rows
+//     (row-major WG scheduling over a column-major output, §4.2.1), so A
+//     contributes its footprint exactly once, spread across stages;
+//   - the B operand is re-read every stage (each row sweep touches all
+//     active columns); whether those re-reads hit the LLC depends on whether
+//     B survives between stages, competing with the stage's streaming A
+//     panels and — unless the output bypasses the LLC — the stage's freshly
+//     written output tiles (write-allocate pollution, §6.2);
+//   - LLC hits cost no DRAM traffic.
+//
+// This reproduces the paper's cache observations: OP-layer GEMMs are small
+// enough to live in the LLC (tiny sequential read traffic, §6.1.2), large FC
+// GEMMs thrash in the baseline, and T3's uncached-output bypass gives the
+// inputs the whole cache back (GEMM read reductions in Figure 18).
+type ReadModel struct {
+	Grid gemm.Grid
+	// LLC is the cache capacity available to this kernel.
+	LLC units.Bytes
+	// OutputBypassesLLC marks T3/NMC runs whose stores are uncached (§4.3).
+	OutputBypassesLLC bool
+}
+
+// StageReads returns the DRAM read bytes of each stage for the given stage
+// WG counts (from Grid.Stages).
+func (m ReadModel) StageReads(stages []int) []units.Bytes {
+	g := m.Grid
+	out := make([]units.Bytes, len(stages))
+	bBytes := g.Shape.BBytes()
+	// A streams exactly once: apportion it cumulatively so shares conserve
+	// the footprint despite integer division.
+	var cumWGs int64
+	var cumA units.Bytes
+	for i, wgs := range stages {
+		cumWGs += int64(wgs)
+		nextA := units.Bytes(int64(g.Shape.ABytes()) * cumWGs / int64(g.NumWGs))
+		stageA := nextA - cumA
+		cumA = nextA
+		// Fraction of B this stage touches: a full row sweep covers all of
+		// B; smaller stages cover proportionally fewer columns.
+		coverage := 1.0
+		if wgs < g.WGsN {
+			coverage = float64(wgs) / float64(g.WGsN)
+		}
+		stageB := units.Bytes(float64(bBytes) * coverage)
+		if i == 0 {
+			// Cold: everything misses.
+			out[i] = stageA + stageB
+			continue
+		}
+		out[i] = stageA + units.Bytes(float64(stageB)*m.bMissFraction(wgs))
+	}
+	return out
+}
+
+// TotalReads sums StageReads.
+func (m ReadModel) TotalReads(stages []int) units.Bytes {
+	var t units.Bytes
+	for _, r := range m.StageReads(stages) {
+		t += r
+	}
+	return t
+}
+
+// bMissFraction estimates the fraction of B's inter-stage re-reads that miss
+// the LLC: B competes with the stage's streamed A panels and, in the
+// baseline, with the stage's written output tiles.
+func (m ReadModel) bMissFraction(stageWGs int) float64 {
+	g := m.Grid
+	footprint := g.Shape.BBytes() +
+		units.Bytes(int64(g.Shape.ABytes())*int64(stageWGs)/int64(g.NumWGs))
+	if !m.OutputBypassesLLC {
+		footprint += units.Bytes(stageWGs) * g.WGTileBytes()
+	}
+	over := footprint - m.LLC
+	if over <= 0 {
+		return 0
+	}
+	miss := float64(over) / float64(g.Shape.BBytes())
+	if miss > 1 {
+		miss = 1
+	}
+	return miss
+}

@@ -1,0 +1,130 @@
+package gpu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"t3sim/internal/gemm"
+	"t3sim/internal/memory"
+	"t3sim/internal/sim"
+	"t3sim/internal/units"
+)
+
+// TestPropertyStageOutputConservation: for arbitrary shapes, the per-stage
+// output shares always sum to exactly the GEMM's output size.
+func TestPropertyStageOutputConservation(t *testing.T) {
+	f := func(mRaw, nRaw, kRaw uint8) bool {
+		s := gemm.Shape{
+			M:         int(mRaw)%2000 + 1,
+			N:         int(nRaw)%2000 + 1,
+			K:         int(kRaw)%512 + 1,
+			ElemBytes: 2,
+		}
+		g, err := gemm.NewGrid(s, gemm.DefaultTiling())
+		if err != nil {
+			return false
+		}
+		eng := sim.NewEngine()
+		mc, err := memory.NewController(eng, memory.DefaultConfig(), memory.ComputeFirst{})
+		if err != nil {
+			return false
+		}
+		k := &GEMMKernel{Eng: eng, Mem: mc, GPU: DefaultConfig(), Grid: g}
+		if err := k.Start(nil); err != nil {
+			return false
+		}
+		eng.Run()
+		var sum units.Bytes
+		for i := range k.Stages() {
+			sum += k.StageOutputBytes(i)
+		}
+		return sum == s.OutputBytes() &&
+			mc.Counters().KindBytes(memory.Write) == s.OutputBytes()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyReadsNeverBelowCompulsory: DRAM read traffic is at least the
+// operand footprint (compulsory misses) and at most the zero-reuse stream.
+func TestPropertyReadsNeverBelowCompulsory(t *testing.T) {
+	f := func(mRaw, nRaw, kRaw uint8, bypass bool) bool {
+		s := gemm.Shape{
+			M:         (int(mRaw)%32 + 1) * 128,
+			N:         (int(nRaw)%32 + 1) * 128,
+			K:         (int(kRaw)%16 + 1) * 128,
+			ElemBytes: 2,
+		}
+		g, err := gemm.NewGrid(s, gemm.DefaultTiling())
+		if err != nil {
+			return false
+		}
+		rm := ReadModel{Grid: g, LLC: 16 * units.MiB, OutputBypassesLLC: bypass}
+		stages := g.Stages(160)
+		total := rm.TotalReads(stages)
+		if total < s.InputBytes() {
+			return false
+		}
+		// Upper bound: A once plus B re-read every stage.
+		upper := s.ABytes() + s.BBytes()*units.Bytes(len(stages))
+		return total <= upper
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyBypassNeverIncreasesReads: removing output pollution can only
+// help input caching.
+func TestPropertyBypassNeverIncreasesReads(t *testing.T) {
+	f := func(mRaw, nRaw, kRaw uint8) bool {
+		s := gemm.Shape{
+			M:         (int(mRaw)%32 + 1) * 128,
+			N:         (int(nRaw)%32 + 1) * 128,
+			K:         (int(kRaw)%16 + 1) * 128,
+			ElemBytes: 2,
+		}
+		g, err := gemm.NewGrid(s, gemm.DefaultTiling())
+		if err != nil {
+			return false
+		}
+		stages := g.Stages(160)
+		base := ReadModel{Grid: g, LLC: 16 * units.MiB}.TotalReads(stages)
+		byp := ReadModel{Grid: g, LLC: 16 * units.MiB, OutputBypassesLLC: true}.TotalReads(stages)
+		return byp <= base
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyMoreCUsNeverSlower: GEMM duration is non-increasing in the CU
+// allocation.
+func TestPropertyMoreCUsNeverSlower(t *testing.T) {
+	g, err := gemm.NewGrid(gemm.Shape{M: 2048, N: 2048, K: 512, ElemBytes: 2}, gemm.DefaultTiling())
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(cus int) units.Time {
+		eng := sim.NewEngine()
+		mc, err := memory.NewController(eng, memory.DefaultConfig(), memory.ComputeFirst{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := &GEMMKernel{Eng: eng, Mem: mc, GPU: DefaultConfig(), Grid: g, CUs: cus}
+		if err := k.Start(nil); err != nil {
+			t.Fatal(err)
+		}
+		eng.Run()
+		return k.Finished()
+	}
+	prev := run(8)
+	for _, cus := range []int{16, 32, 64, 80} {
+		cur := run(cus)
+		if cur > prev {
+			t.Errorf("%d CUs slower (%v) than fewer CUs (%v)", cus, cur, prev)
+		}
+		prev = cur
+	}
+}

@@ -1,0 +1,119 @@
+// Package interconnect models the inter-GPU network of Table 1: a ring of
+// point-to-point links with 150 GB/s bidirectional bandwidth (75 GB/s per
+// direction) and 500 ns latency. A link serializes transfers at its
+// bandwidth and delivers them after an additional propagation latency, the
+// same "simple link bandwidth and latency model" the paper uses (§5.1.1).
+package interconnect
+
+import (
+	"fmt"
+
+	"t3sim/internal/sim"
+	"t3sim/internal/units"
+)
+
+// Config describes the network.
+type Config struct {
+	// LinkBandwidth is the per-direction bandwidth of each ring link.
+	LinkBandwidth units.Bandwidth
+	// LinkLatency is the propagation latency added to every delivery.
+	LinkLatency units.Time
+	// PacketSize bounds the serialization unit; transfers larger than this
+	// are pipelined packet by packet so concurrent transfers share a link
+	// fairly.
+	PacketSize units.Bytes
+}
+
+// DefaultConfig mirrors Table 1: a 150 GB/s bidirectional ring (75 GB/s per
+// direction) with 500 ns link latency.
+func DefaultConfig() Config {
+	return Config{
+		LinkBandwidth: 75 * units.GBps,
+		LinkLatency:   500 * units.Nanosecond,
+		PacketSize:    2 * units.KiB,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.LinkBandwidth <= 0:
+		return fmt.Errorf("interconnect: LinkBandwidth = %v, must be positive", c.LinkBandwidth)
+	case c.LinkLatency < 0:
+		return fmt.Errorf("interconnect: LinkLatency = %v, must be non-negative", c.LinkLatency)
+	case c.PacketSize <= 0:
+		return fmt.Errorf("interconnect: PacketSize = %v, must be positive", c.PacketSize)
+	}
+	return nil
+}
+
+// Link is one unidirectional point-to-point link. Transfers are packetized
+// and serialized in FIFO order; each packet is delivered LinkLatency after
+// its serialization completes, so back-to-back packets pipeline.
+type Link struct {
+	eng *sim.Engine
+	cfg Config
+
+	busyUntil units.Time
+	sentBytes units.Bytes
+}
+
+// NewLink returns an idle link.
+func NewLink(eng *sim.Engine, cfg Config) (*Link, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Link{eng: eng, cfg: cfg}, nil
+}
+
+// Send queues a transfer of n bytes. onDelivered (may be nil) runs when the
+// last packet arrives at the far end.
+func (l *Link) Send(n units.Bytes, onDelivered sim.Handler) {
+	l.SendWith(n, nil, onDelivered)
+}
+
+// SendWith queues a transfer of n bytes, invoking onPacket(size) as each
+// packet of at most PacketSize bytes arrives at the far end (so receivers can
+// pipeline work behind the wire) and onDelivered once after the final packet.
+// Either callback may be nil. Zero-byte sends deliver after just the
+// propagation latency.
+func (l *Link) SendWith(n units.Bytes, onPacket func(units.Bytes), onDelivered sim.Handler) {
+	if n < 0 {
+		panic("interconnect: negative send size")
+	}
+	now := l.eng.Now()
+	if l.busyUntil < now {
+		l.busyUntil = now
+	}
+	l.sentBytes += n
+	remaining := n
+	for {
+		pkt := remaining
+		if pkt > l.cfg.PacketSize {
+			pkt = l.cfg.PacketSize
+		}
+		l.busyUntil += l.cfg.LinkBandwidth.TransferTime(pkt)
+		remaining -= pkt
+		deliver := l.busyUntil + l.cfg.LinkLatency
+		last := remaining == 0
+		if onPacket != nil && pkt > 0 {
+			size := pkt
+			l.eng.At(deliver, func() { onPacket(size) })
+		}
+		if last {
+			if onDelivered != nil {
+				l.eng.At(deliver, onDelivered)
+			}
+			return
+		}
+	}
+}
+
+// BusyUntil returns the time at which the link's serializer frees up.
+func (l *Link) BusyUntil() units.Time { return l.busyUntil }
+
+// SentBytes returns the cumulative bytes accepted by the link.
+func (l *Link) SentBytes() units.Bytes { return l.sentBytes }
+
+// Config returns the link configuration.
+func (l *Link) Config() Config { return l.cfg }

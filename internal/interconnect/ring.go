@@ -1,0 +1,62 @@
+package interconnect
+
+import (
+	"fmt"
+
+	"t3sim/internal/sim"
+)
+
+// Ring is a bidirectional ring of N devices. ForwardLink(i) carries traffic
+// from device i to device (i+1) mod N; BackwardLink(i) from device i to
+// device (i-1+N) mod N. Ring collectives in this repository use the forward
+// direction.
+type Ring struct {
+	n        int
+	cfg      Config
+	forward  []*Link
+	backward []*Link
+}
+
+// NewRing builds a ring of n >= 2 devices on eng.
+func NewRing(eng *sim.Engine, n int, cfg Config) (*Ring, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("interconnect: ring needs >= 2 devices, got %d", n)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r := &Ring{n: n, cfg: cfg}
+	r.forward = make([]*Link, n)
+	r.backward = make([]*Link, n)
+	for i := 0; i < n; i++ {
+		fl, err := NewLink(eng, cfg)
+		if err != nil {
+			return nil, err
+		}
+		bl, err := NewLink(eng, cfg)
+		if err != nil {
+			return nil, err
+		}
+		r.forward[i] = fl
+		r.backward[i] = bl
+	}
+	return r, nil
+}
+
+// Devices returns the number of devices on the ring.
+func (r *Ring) Devices() int { return r.n }
+
+// Config returns the link configuration.
+func (r *Ring) Config() Config { return r.cfg }
+
+// Next returns the forward neighbor of device i.
+func (r *Ring) Next(i int) int { return (i + 1) % r.n }
+
+// Prev returns the backward neighbor of device i.
+func (r *Ring) Prev(i int) int { return (i - 1 + r.n) % r.n }
+
+// ForwardLink returns the link from device i to Next(i).
+func (r *Ring) ForwardLink(i int) *Link { return r.forward[i] }
+
+// BackwardLink returns the link from device i to Prev(i).
+func (r *Ring) BackwardLink(i int) *Link { return r.backward[i] }

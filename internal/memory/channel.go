@@ -1,0 +1,125 @@
+package memory
+
+import (
+	"t3sim/internal/units"
+)
+
+// channel is one HBM channel: two stream queues feeding a finite DRAM
+// command queue through the arbiter, and a single service stage draining the
+// DRAM queue at the channel's share of the stack bandwidth.
+type channel struct {
+	ctrl *Controller
+	id   int
+
+	streams          [numStreams][]*Request // waiting, pre-arbitration
+	dramq            []*Request             // issued, waiting for service
+	busy             bool                   // service stage occupied
+	bw               units.Bandwidth
+	lastComm         units.Time      // last time a comm request was issued (starvation)
+	inflightByStream [numStreams]int // enqueued but not yet fully serviced
+	banks            *bankTimer      // nil = flat service model
+
+	// occupancy statistics for the MCA monitor window
+	occSamples int64
+	occSum     int64
+}
+
+// enqueue places a request on its stream queue and kicks arbitration.
+func (ch *channel) enqueue(r *Request) {
+	r.enqueuedAt = ch.ctrl.eng.Now()
+	ch.streams[r.Stream] = append(ch.streams[r.Stream], r)
+	ch.inflightByStream[r.Stream]++
+	ch.arbitrate()
+}
+
+// arbitrate moves requests from stream queues into the DRAM queue while the
+// policy allows, then kicks the service stage.
+func (ch *channel) arbitrate() {
+	for len(ch.dramq) < ch.ctrl.cfg.QueueDepth {
+		s, ok := ch.ctrl.arbiter.Next(ch.view())
+		if !ok {
+			break
+		}
+		q := ch.streams[s]
+		if len(q) == 0 {
+			panic("memory: arbiter selected empty stream")
+		}
+		r := q[0]
+		copy(q, q[1:])
+		q[len(q)-1] = nil
+		ch.streams[s] = q[:len(q)-1]
+		ch.dramq = append(ch.dramq, r)
+		if s == StreamComm {
+			ch.lastComm = ch.ctrl.eng.Now()
+		}
+		ch.ctrl.notifyEnqueue(r)
+	}
+	ch.service()
+}
+
+// service drains the DRAM queue head if the stage is free.
+func (ch *channel) service() {
+	if ch.busy || len(ch.dramq) == 0 {
+		return
+	}
+	r := ch.dramq[0]
+	copy(ch.dramq, ch.dramq[1:])
+	ch.dramq[len(ch.dramq)-1] = nil
+	ch.dramq = ch.dramq[:len(ch.dramq)-1]
+	ch.busy = true
+
+	var t units.Time
+	if ch.banks != nil {
+		now := ch.ctrl.eng.Now()
+		t = ch.banks.service(now, r) - now
+	} else {
+		t = ch.bw.TransferTime(r.Bytes)
+		if r.Kind == Update {
+			t = units.Time(float64(t) * ch.ctrl.cfg.UpdateFactor)
+		}
+	}
+	ch.sampleOccupancy()
+	ch.ctrl.counters.add(r.Kind, r.Stream, r.Bytes, ch.ctrl.eng.Now()-r.enqueuedAt)
+	ch.ctrl.eng.After(t, func() {
+		ch.busy = false
+		ch.inflightByStream[r.Stream]--
+		ch.complete(r)
+		// Freeing the service stage may unblock arbitration (queue depth).
+		ch.arbitrate()
+		ch.ctrl.checkIdle()
+	})
+}
+
+func (ch *channel) complete(r *Request) {
+	if r.OnDone == nil {
+		return
+	}
+	if r.Kind == Read && ch.ctrl.cfg.ReadLatency > 0 {
+		ch.ctrl.eng.After(ch.ctrl.cfg.ReadLatency, r.OnDone)
+	} else {
+		r.OnDone()
+	}
+}
+
+// inFlight reports whether the channel has any work anywhere.
+func (ch *channel) inFlight() bool {
+	return ch.busy || len(ch.dramq) > 0 ||
+		len(ch.streams[StreamCompute]) > 0 || len(ch.streams[StreamComm]) > 0
+}
+
+func (ch *channel) sampleOccupancy() {
+	ch.occSamples++
+	ch.occSum += int64(len(ch.dramq))
+}
+
+// view builds the arbiter's snapshot of this channel.
+func (ch *channel) view() ChannelView {
+	return ChannelView{
+		Now:            ch.ctrl.eng.Now(),
+		DRAMOccupancy:  len(ch.dramq),
+		QueueDepth:     ch.ctrl.cfg.QueueDepth,
+		ComputePending: len(ch.streams[StreamCompute]),
+		CommPending:    len(ch.streams[StreamComm]),
+		LastCommIssue:  ch.lastComm,
+	}
+}

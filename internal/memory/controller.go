@@ -1,0 +1,237 @@
+package memory
+
+import (
+	"fmt"
+
+	"t3sim/internal/sim"
+	"t3sim/internal/units"
+)
+
+// Observer is notified when a request is issued into a DRAM command queue.
+// The T3 tracker registers itself here: the paper checks the tracker "once
+// the accesses are enqueued in the memory controller queue" so the check is
+// off the critical path (§4.2.1). The DRAM traffic trace (Figure 17) is also
+// an observer.
+type Observer interface {
+	OnIssue(now units.Time, r *Request)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(now units.Time, r *Request)
+
+// OnIssue implements Observer.
+func (f ObserverFunc) OnIssue(now units.Time, r *Request) { f(now, r) }
+
+// Controller is one GPU's HBM stack: a set of channels fed through a shared
+// arbitration policy. Transfers are striped across channels round-robin,
+// which models the address interleaving real stacks use.
+type Controller struct {
+	eng      *sim.Engine
+	cfg      Config
+	arbiter  Arbiter
+	channels []*channel
+	counters Counters
+	observer Observer
+
+	nextChannel int // striping cursor
+
+	idleWaiters   []idleWaiter
+	monitorActive bool
+}
+
+type idleWaiter struct {
+	stream Stream
+	all    bool
+	fn     sim.Handler
+}
+
+// NewController builds a memory system on eng with cfg and policy arb.
+func NewController(eng *sim.Engine, cfg Config, arb Arbiter) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if arb == nil {
+		return nil, fmt.Errorf("memory: nil arbiter")
+	}
+	c := &Controller{eng: eng, cfg: cfg, arbiter: arb}
+	perChannel := units.Bandwidth(float64(cfg.TotalBandwidth) / float64(cfg.Channels))
+	c.channels = make([]*channel, cfg.Channels)
+	for i := range c.channels {
+		ch := &channel{ctrl: c, id: i, bw: perChannel}
+		if cfg.Banks != nil {
+			ch.banks = newBankTimer(*cfg.Banks)
+		}
+		c.channels[i] = ch
+	}
+	return c, nil
+}
+
+// Config returns the controller's configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// Counters returns the accumulated traffic counters.
+func (c *Controller) Counters() *Counters { return &c.counters }
+
+// SetObserver installs the issue observer (nil clears it).
+func (c *Controller) SetObserver(o Observer) { c.observer = o }
+
+// Arbiter returns the installed arbitration policy.
+func (c *Controller) Arbiter() Arbiter { return c.arbiter }
+
+// Access submits a single request of at most RequestGranularity bytes.
+func (c *Controller) Access(r *Request) {
+	if r.Bytes <= 0 {
+		panic("memory: access with non-positive size")
+	}
+	if r.Bytes > c.cfg.RequestGranularity {
+		panic(fmt.Sprintf("memory: request of %v exceeds granularity %v; use Transfer",
+			r.Bytes, c.cfg.RequestGranularity))
+	}
+	ch := c.channels[c.nextChannel]
+	c.nextChannel = (c.nextChannel + 1) % len(c.channels)
+	ch.enqueue(r)
+}
+
+// Transfer splits a transfer of total bytes into granularity-sized requests
+// striped across channels and runs onDone when every request has completed.
+// The tag is attached to each request. onDone may be nil.
+func (c *Controller) Transfer(kind AccessKind, stream Stream, total units.Bytes, tag Tag, onDone func()) {
+	if total <= 0 {
+		if onDone != nil {
+			onDone()
+		}
+		return
+	}
+	g := c.cfg.RequestGranularity
+	n := int(units.CeilDiv(int64(total), int64(g)))
+	fence := sim.NewFence(n, onDone)
+	remaining := total
+	for i := 0; i < n; i++ {
+		sz := g
+		if remaining < g {
+			sz = remaining
+		}
+		remaining -= sz
+		c.Access(&Request{
+			Kind:   kind,
+			Stream: stream,
+			Bytes:  sz,
+			Tag:    tag,
+			OnDone: fence.Done,
+		})
+	}
+}
+
+// RequestsFor returns how many granularity-sized requests a transfer of
+// total bytes will produce.
+func (c *Controller) RequestsFor(total units.Bytes) int {
+	if total <= 0 {
+		return 0
+	}
+	return int(units.CeilDiv(int64(total), int64(c.cfg.RequestGranularity)))
+}
+
+// WhenIdle schedules fn to run when the given stream has no queued requests
+// anywhere in the controller (the paper drains the communication stream at
+// producer kernel boundaries, §4.5). The condition is checked on every
+// completion; if already idle, fn runs immediately.
+func (c *Controller) WhenIdle(stream Stream, fn sim.Handler) {
+	if !c.streamBusy(stream) {
+		fn()
+		return
+	}
+	c.idleWaiters = append(c.idleWaiters, idleWaiter{stream: stream, fn: fn})
+}
+
+// WhenAllIdle schedules fn for when the entire memory system has drained.
+func (c *Controller) WhenAllIdle(fn sim.Handler) {
+	if !c.anyBusy() {
+		fn()
+		return
+	}
+	c.idleWaiters = append(c.idleWaiters, idleWaiter{all: true, fn: fn})
+}
+
+// BeginMonitor starts an MCA intensity-monitoring window (the producer
+// kernel's isolated first stage). It is a no-op for non-MCA arbiters.
+func (c *Controller) BeginMonitor() {
+	if _, ok := c.arbiter.(*MCA); !ok {
+		return
+	}
+	c.monitorActive = true
+	for _, ch := range c.channels {
+		ch.occSamples = 0
+		ch.occSum = 0
+	}
+}
+
+// EndMonitor closes the monitoring window and installs the measured memory
+// intensity into the MCA policy.
+func (c *Controller) EndMonitor() {
+	mca, ok := c.arbiter.(*MCA)
+	if !ok || !c.monitorActive {
+		return
+	}
+	c.monitorActive = false
+	var samples, sum int64
+	for _, ch := range c.channels {
+		samples += ch.occSamples
+		sum += ch.occSum
+	}
+	if samples == 0 {
+		mca.SetIntensity(0)
+		return
+	}
+	mean := float64(sum) / float64(samples)
+	mca.SetIntensity(mean / float64(c.cfg.QueueDepth))
+}
+
+func (c *Controller) notifyEnqueue(r *Request) {
+	if c.observer != nil {
+		c.observer.OnIssue(c.eng.Now(), r)
+	}
+}
+
+func (c *Controller) streamBusy(s Stream) bool {
+	for _, ch := range c.channels {
+		if ch.inflightByStream[s] > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Controller) anyBusy() bool {
+	for _, ch := range c.channels {
+		if ch.inFlight() {
+			return true
+		}
+	}
+	return false
+}
+
+// checkIdle runs pending idle waiters whose condition now holds.
+func (c *Controller) checkIdle() {
+	if len(c.idleWaiters) == 0 {
+		return
+	}
+	kept := c.idleWaiters[:0]
+	var ready []sim.Handler
+	for _, w := range c.idleWaiters {
+		done := false
+		if w.all {
+			done = !c.anyBusy()
+		} else {
+			done = !c.streamBusy(w.stream)
+		}
+		if done {
+			ready = append(ready, w.fn)
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	c.idleWaiters = kept
+	for _, fn := range ready {
+		fn()
+	}
+}

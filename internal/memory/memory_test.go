@@ -1,0 +1,380 @@
+package memory
+
+import (
+	"testing"
+
+	"t3sim/internal/sim"
+	"t3sim/internal/units"
+)
+
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Channels = 4
+	cfg.TotalBandwidth = 4 * units.GBps // 1 GB/s per channel: 1 byte/ns
+	cfg.RequestGranularity = 1 * units.KiB
+	cfg.QueueDepth = 8
+	cfg.ReadLatency = 0
+	return cfg
+}
+
+func newTestController(t *testing.T, cfg Config, arb Arbiter) (*sim.Engine, *Controller) {
+	t.Helper()
+	eng := sim.NewEngine()
+	c, err := NewController(eng, cfg, arb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, c
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Errorf("DefaultConfig invalid: %v", err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.Channels = 0 },
+		func(c *Config) { c.TotalBandwidth = 0 },
+		func(c *Config) { c.RequestGranularity = 0 },
+		func(c *Config) { c.QueueDepth = 0 },
+		func(c *Config) { c.ReadLatency = -1 },
+		func(c *Config) { c.UpdateFactor = 0.5 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+	eng := sim.NewEngine()
+	if _, err := NewController(eng, DefaultConfig(), nil); err == nil {
+		t.Error("nil arbiter: expected error")
+	}
+}
+
+func TestTransferBandwidthAsymptote(t *testing.T) {
+	// Moving 4 MiB at 4 GB/s should take ~1.048 ms (4 MiB / 4e9 B/s), within
+	// a small tolerance for request rounding.
+	eng, c := newTestController(t, testConfig(), ComputeFirst{})
+	total := 4 * units.MiB
+	var done units.Time
+	c.Transfer(Read, StreamCompute, total, Tag{}, func() { done = eng.Now() })
+	eng.Run()
+	want := (4 * units.GBps).TransferTime(total)
+	if done < want || done > want+want/100 {
+		t.Errorf("transfer finished at %v, want about %v", done, want)
+	}
+	if got := c.Counters().KindBytes(Read); got != total {
+		t.Errorf("read bytes = %v, want %v", got, total)
+	}
+}
+
+func TestUpdateFactorSlowsService(t *testing.T) {
+	cfg := testConfig()
+	engW, cW := newTestController(t, cfg, ComputeFirst{})
+	var doneW units.Time
+	cW.Transfer(Write, StreamCompute, 1*units.MiB, Tag{}, func() { doneW = engW.Now() })
+	engW.Run()
+
+	engU, cU := newTestController(t, cfg, ComputeFirst{})
+	var doneU units.Time
+	cU.Transfer(Update, StreamCompute, 1*units.MiB, Tag{}, func() { doneU = engU.Now() })
+	engU.Run()
+
+	ratio := float64(doneU) / float64(doneW)
+	if ratio < 1.9 || ratio > 2.1 {
+		t.Errorf("update/write time ratio = %.3f, want about %v", ratio, cfg.UpdateFactor)
+	}
+}
+
+func TestReadLatencyAddsToCompletion(t *testing.T) {
+	cfg := testConfig()
+	cfg.ReadLatency = 100 * units.Nanosecond
+	eng, c := newTestController(t, cfg, ComputeFirst{})
+	var done units.Time
+	c.Access(&Request{Kind: Read, Stream: StreamCompute, Bytes: 1024,
+		OnDone: func() { done = eng.Now() }})
+	eng.Run()
+	// 1024 B at 1 B/ns service = 1024 ns + 100 ns latency (+1 for ceil).
+	want := units.Time(1024+100) * units.Nanosecond
+	if done < want || done > want+units.Nanosecond {
+		t.Errorf("read completed at %v, want about %v", done, want)
+	}
+}
+
+func TestComputeFirstPriority(t *testing.T) {
+	// Saturate a single channel with comm, then submit compute: the compute
+	// request must overtake all still-queued comm requests.
+	cfg := testConfig()
+	cfg.Channels = 1
+	cfg.TotalBandwidth = 1 * units.GBps
+	cfg.QueueDepth = 2
+	eng, c := newTestController(t, cfg, ComputeFirst{})
+
+	var order []string
+	for i := 0; i < 8; i++ {
+		c.Access(&Request{Kind: Read, Stream: StreamComm, Bytes: 1024,
+			OnDone: func() { order = append(order, "comm") }})
+	}
+	var computeDone int
+	eng.After(1, func() {
+		c.Access(&Request{Kind: Read, Stream: StreamCompute, Bytes: 1024,
+			OnDone: func() {
+				order = append(order, "compute")
+				computeDone = len(order)
+			}})
+	})
+	eng.Run()
+	// QueueDepth 2 comm requests were already issued before compute arrived;
+	// at most one more is in service. Compute must finish no later than 4th.
+	if computeDone == 0 || computeDone > 4 {
+		t.Errorf("compute completed at position %d of %v, want <= 4", computeDone, order)
+	}
+}
+
+func TestRoundRobinAlternates(t *testing.T) {
+	cfg := testConfig()
+	cfg.Channels = 1
+	cfg.QueueDepth = 1
+	eng, c := newTestController(t, cfg, &RoundRobin{})
+	var order []Stream
+	submit := func(s Stream) {
+		c.Access(&Request{Kind: Read, Stream: s, Bytes: 1024,
+			OnDone: func() { order = append(order, s) }})
+	}
+	for i := 0; i < 3; i++ {
+		submit(StreamCompute)
+		submit(StreamComm)
+	}
+	eng.Run()
+	if len(order) != 6 {
+		t.Fatalf("completed %d, want 6", len(order))
+	}
+	// With queue depth 1 and both queues loaded the policy must alternate.
+	for i := 1; i < len(order); i++ {
+		if order[i] == order[i-1] {
+			t.Errorf("round robin did not alternate at %d: %v", i, order)
+			break
+		}
+	}
+}
+
+func TestMCAThresholdBlocksComm(t *testing.T) {
+	// With an MCA threshold of 0-ish restrictiveness, comm issues only when
+	// the DRAM queue has room below the threshold even though compute is idle.
+	cfg := testConfig()
+	cfg.Channels = 1
+	cfg.QueueDepth = 8
+	mca := NewMCA(DefaultMCAConfig())
+	mca.SetIntensity(0.9) // most restrictive threshold = 5
+	if mca.Threshold() != 5 {
+		t.Fatalf("threshold = %d, want 5", mca.Threshold())
+	}
+	eng, c := newTestController(t, cfg, mca)
+	issued := 0
+	c.SetObserver(ObserverFunc(func(now units.Time, r *Request) {
+		if r.Stream == StreamComm {
+			issued++
+		}
+	}))
+	for i := 0; i < 20; i++ {
+		c.Access(&Request{Kind: Write, Stream: StreamComm, Bytes: 1024})
+	}
+	// Immediately after submission, at most threshold requests may be in the
+	// DRAM queue (issue stops at occupancy 5); one more can issue each time
+	// the service stage pops the queue.
+	if issued > mca.Threshold()+1 {
+		t.Errorf("issued %d comm requests at t=0, want <= %d", issued, mca.Threshold()+1)
+	}
+	eng.Run()
+	if issued != 20 {
+		t.Errorf("total issued = %d, want 20 (no request lost)", issued)
+	}
+}
+
+func TestMCAStarvationBound(t *testing.T) {
+	// Keep the compute stream permanently full; comm must still issue within
+	// the starvation limit.
+	cfg := testConfig()
+	cfg.Channels = 1
+	cfg.QueueDepth = 4
+	mcfg := DefaultMCAConfig()
+	mcfg.StarvationLimit = 10 * units.Microsecond
+	mca := NewMCA(mcfg)
+	mca.SetIntensity(0.9)
+	eng, c := newTestController(t, cfg, mca)
+
+	var commIssue units.Time
+	c.SetObserver(ObserverFunc(func(now units.Time, r *Request) {
+		if r.Stream == StreamComm && commIssue == 0 {
+			commIssue = now
+		}
+	}))
+	// Feed compute continuously: each completion enqueues another.
+	var feed func()
+	remaining := 200
+	feed = func() {
+		if remaining == 0 {
+			return
+		}
+		remaining--
+		c.Access(&Request{Kind: Read, Stream: StreamCompute, Bytes: 1024, OnDone: feed})
+	}
+	for i := 0; i < 8; i++ {
+		feed()
+	}
+	c.Access(&Request{Kind: Write, Stream: StreamComm, Bytes: 1024})
+	eng.Run()
+	if commIssue == 0 {
+		t.Fatal("comm request never issued")
+	}
+	if commIssue > mcfg.StarvationLimit+20*units.Microsecond {
+		t.Errorf("comm issued at %v, want within starvation bound %v", commIssue, mcfg.StarvationLimit)
+	}
+}
+
+func TestMCAIntensityMapping(t *testing.T) {
+	cases := []struct {
+		intensity float64
+		want      int
+	}{
+		{0.9, 5}, {0.7, 5}, {0.5, 10}, {0.3, 10}, {0.2, 30}, {0.1, 30}, {0.01, -1}, {0, -1},
+	}
+	for _, cse := range cases {
+		m := NewMCA(DefaultMCAConfig())
+		m.SetIntensity(cse.intensity)
+		if m.Threshold() != cse.want {
+			t.Errorf("SetIntensity(%v): threshold = %d, want %d", cse.intensity, m.Threshold(), cse.want)
+		}
+		if !m.Calibrated() {
+			t.Errorf("SetIntensity(%v): not calibrated", cse.intensity)
+		}
+	}
+	if NewMCA(MCAConfig{}).Threshold() != 5 {
+		t.Error("zero-config MCA should start at the most restrictive threshold")
+	}
+}
+
+func TestMonitorWindowCalibratesMCA(t *testing.T) {
+	cfg := testConfig()
+	cfg.Channels = 1
+	mca := NewMCA(DefaultMCAConfig())
+	eng, c := newTestController(t, cfg, mca)
+	c.BeginMonitor()
+	// A heavy burst keeps DRAM queue occupancy high during the window.
+	for i := 0; i < 200; i++ {
+		c.Access(&Request{Kind: Read, Stream: StreamCompute, Bytes: 1024})
+	}
+	eng.Run()
+	c.EndMonitor()
+	if !mca.Calibrated() {
+		t.Fatal("monitor window did not calibrate MCA")
+	}
+	if mca.Threshold() != 5 && mca.Threshold() != 10 {
+		t.Errorf("threshold after heavy window = %d, want restrictive (5 or 10)", mca.Threshold())
+	}
+
+	// An idle window maps to the unlimited threshold.
+	mca2 := NewMCA(DefaultMCAConfig())
+	_, c2 := newTestController(t, cfg, mca2)
+	c2.BeginMonitor()
+	c2.EndMonitor()
+	if mca2.Threshold() != -1 {
+		t.Errorf("threshold after idle window = %d, want -1", mca2.Threshold())
+	}
+}
+
+func TestWhenIdle(t *testing.T) {
+	eng, c := newTestController(t, testConfig(), ComputeFirst{})
+	var commIdleAt, allIdleAt units.Time
+	c.Transfer(Write, StreamComm, 64*units.KiB, Tag{}, nil)
+	c.Transfer(Read, StreamCompute, 128*units.KiB, Tag{}, nil)
+	c.WhenIdle(StreamComm, func() { commIdleAt = eng.Now() })
+	c.WhenAllIdle(func() { allIdleAt = eng.Now() })
+	eng.Run()
+	if commIdleAt == 0 || allIdleAt == 0 {
+		t.Fatalf("idle callbacks did not run: comm=%v all=%v", commIdleAt, allIdleAt)
+	}
+	if commIdleAt > allIdleAt {
+		t.Errorf("comm idle (%v) after all idle (%v)", commIdleAt, allIdleAt)
+	}
+	// Already-idle controller runs callback immediately.
+	ran := false
+	c.WhenIdle(StreamComm, func() { ran = true })
+	if !ran {
+		t.Error("WhenIdle on idle controller should run immediately")
+	}
+}
+
+func TestCounters(t *testing.T) {
+	eng, c := newTestController(t, testConfig(), ComputeFirst{})
+	c.Transfer(Read, StreamCompute, 10*units.KiB, Tag{}, nil)
+	c.Transfer(Write, StreamComm, 6*units.KiB, Tag{}, nil)
+	c.Transfer(Update, StreamComm, 4*units.KiB, Tag{}, nil)
+	eng.Run()
+	cnt := c.Counters()
+	if got := cnt.KindBytes(Read); got != 10*units.KiB {
+		t.Errorf("read bytes = %v", got)
+	}
+	if got := cnt.StreamBytes(StreamComm); got != 10*units.KiB {
+		t.Errorf("comm bytes = %v", got)
+	}
+	if got := cnt.TotalBytes(); got != 20*units.KiB {
+		t.Errorf("total bytes = %v", got)
+	}
+	if cnt.Requests[Read][StreamCompute] != 10 {
+		t.Errorf("read requests = %d, want 10", cnt.Requests[Read][StreamCompute])
+	}
+}
+
+func TestTransferZeroBytesCompletesImmediately(t *testing.T) {
+	_, c := newTestController(t, testConfig(), ComputeFirst{})
+	ran := false
+	c.Transfer(Read, StreamCompute, 0, Tag{}, func() { ran = true })
+	if !ran {
+		t.Error("zero-byte transfer should complete synchronously")
+	}
+}
+
+func TestAccessPanics(t *testing.T) {
+	_, c := newTestController(t, testConfig(), ComputeFirst{})
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("zero bytes", func() { c.Access(&Request{Kind: Read, Bytes: 0}) })
+	mustPanic("oversized", func() {
+		c.Access(&Request{Kind: Read, Bytes: c.Config().RequestGranularity + 1})
+	})
+}
+
+func TestRequestsFor(t *testing.T) {
+	_, c := newTestController(t, testConfig(), ComputeFirst{})
+	g := c.Config().RequestGranularity
+	cases := []struct {
+		in   units.Bytes
+		want int
+	}{{0, 0}, {1, 1}, {g, 1}, {g + 1, 2}, {10 * g, 10}}
+	for _, cse := range cases {
+		if got := c.RequestsFor(cse.in); got != cse.want {
+			t.Errorf("RequestsFor(%v) = %d, want %d", cse.in, got, cse.want)
+		}
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if Read.String() != "read" || Write.String() != "write" || Update.String() != "update" {
+		t.Error("AccessKind strings wrong")
+	}
+	if StreamCompute.String() != "compute" || StreamComm.String() != "comm" {
+		t.Error("Stream strings wrong")
+	}
+	if AccessKind(9).String() == "" || Stream(9).String() == "" {
+		t.Error("unknown values should still render")
+	}
+}

@@ -1,0 +1,169 @@
+package memory
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"t3sim/internal/sim"
+	"t3sim/internal/units"
+)
+
+// TestPropertyByteConservation: any batch of transfers across random kinds,
+// streams, and sizes is fully serviced — counters account every byte, every
+// completion callback runs, and the engine drains.
+func TestPropertyByteConservation(t *testing.T) {
+	f := func(seed int64, nOpsRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nOps := int(nOpsRaw)%40 + 1
+		eng := sim.NewEngine()
+		cfg := DefaultConfig()
+		cfg.Channels = 4
+		cfg.TotalBandwidth = 64 * units.GBps
+		arbs := []Arbiter{&RoundRobin{}, ComputeFirst{}, NewMCA(DefaultMCAConfig())}
+		c, err := NewController(eng, cfg, arbs[rng.Intn(len(arbs))])
+		if err != nil {
+			return false
+		}
+		var want units.Bytes
+		completions := 0
+		for i := 0; i < nOps; i++ {
+			kind := AccessKind(rng.Intn(3))
+			stream := Stream(rng.Intn(2))
+			size := units.Bytes(rng.Intn(64*1024) + 1)
+			want += size
+			c.Transfer(kind, stream, size, Tag{}, func() { completions++ })
+		}
+		eng.Run()
+		return completions == nOps && c.Counters().TotalBytes() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyIdleWaitersAlwaysFire: WhenIdle/WhenAllIdle callbacks fire for
+// any traffic pattern.
+func TestPropertyIdleWaitersAlwaysFire(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		eng := sim.NewEngine()
+		cfg := DefaultConfig()
+		cfg.Channels = 2
+		cfg.TotalBandwidth = 8 * units.GBps
+		c, err := NewController(eng, cfg, NewMCA(DefaultMCAConfig()))
+		if err != nil {
+			return false
+		}
+		for i := 0; i < rng.Intn(10)+1; i++ {
+			c.Transfer(AccessKind(rng.Intn(3)), Stream(rng.Intn(2)),
+				units.Bytes(rng.Intn(8192)+1), Tag{}, nil)
+		}
+		fired := 0
+		c.WhenIdle(StreamCompute, func() { fired++ })
+		c.WhenIdle(StreamComm, func() { fired++ })
+		c.WhenAllIdle(func() { fired++ })
+		eng.Run()
+		return fired == 3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyMCANeverStallsForever: with mixed pending traffic under any
+// occupancy threshold, the system always drains (no arbitration deadlock).
+func TestPropertyMCANeverStallsForever(t *testing.T) {
+	for _, th := range []int{1, 5, 64, -1} {
+		mca := NewMCA(DefaultMCAConfig())
+		mca.SetThreshold(th)
+		eng := sim.NewEngine()
+		cfg := DefaultConfig()
+		cfg.Channels = 1
+		cfg.TotalBandwidth = 1 * units.GBps
+		cfg.QueueDepth = 4
+		c, err := NewController(eng, cfg, mca)
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := 0
+		for i := 0; i < 50; i++ {
+			c.Transfer(Write, StreamComm, 2048, Tag{}, func() { done++ })
+		}
+		for i := 0; i < 50; i++ {
+			c.Transfer(Read, StreamCompute, 2048, Tag{}, func() { done++ })
+		}
+		eng.Run()
+		if done != 100 {
+			t.Errorf("threshold %d: %d/100 completed", th, done)
+		}
+	}
+}
+
+// TestPropertyServiceOrderWithinStream: compute-stream requests on a single
+// channel complete in submission order under every policy (FIFO per stream).
+func TestPropertyServiceOrderWithinStream(t *testing.T) {
+	for _, arb := range []Arbiter{&RoundRobin{}, ComputeFirst{}, NewMCA(DefaultMCAConfig())} {
+		eng := sim.NewEngine()
+		cfg := DefaultConfig()
+		cfg.Channels = 1
+		cfg.TotalBandwidth = 1 * units.GBps
+		c, err := NewController(eng, cfg, arb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var order []int
+		for i := 0; i < 20; i++ {
+			i := i
+			c.Access(&Request{Kind: Write, Stream: StreamCompute, Bytes: 512,
+				OnDone: func() { order = append(order, i) }})
+		}
+		eng.Run()
+		for i := 1; i < len(order); i++ {
+			if order[i] < order[i-1] {
+				t.Fatalf("%T: out-of-order completion %v", arb, order)
+			}
+		}
+	}
+}
+
+// TestWaitStatistics: queueing delay is zero for an uncontended request and
+// grows when a stream is stuck behind a burst.
+func TestWaitStatistics(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Channels = 1
+	cfg.TotalBandwidth = 1 * units.GBps
+	eng := sim.NewEngine()
+	c, err := NewController(eng, cfg, ComputeFirst{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A lone request: no wait.
+	c.Access(&Request{Kind: Read, Stream: StreamCompute, Bytes: 1024})
+	eng.Run()
+	if w := c.Counters().MeanWait(StreamCompute); w != 0 {
+		t.Errorf("lone request waited %v, want 0", w)
+	}
+
+	// A comm burst behind a long compute queue must accumulate wait.
+	eng2 := sim.NewEngine()
+	c2, err := NewController(eng2, cfg, ComputeFirst{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		c2.Access(&Request{Kind: Read, Stream: StreamCompute, Bytes: 2048})
+	}
+	for i := 0; i < 4; i++ {
+		c2.Access(&Request{Kind: Write, Stream: StreamComm, Bytes: 2048})
+	}
+	eng2.Run()
+	commWait := c2.Counters().MeanWait(StreamComm)
+	computeWait := c2.Counters().MeanWait(StreamCompute)
+	if commWait <= computeWait {
+		t.Errorf("comm wait %v not above compute wait %v under compute-first", commWait, computeWait)
+	}
+	if commWait <= 0 {
+		t.Error("comm burst accumulated no wait")
+	}
+}

@@ -1,0 +1,116 @@
+// Package sim provides the discrete-event simulation kernel that every timed
+// model in this repository (DRAM, interconnect, GPU pipelines, the T3
+// tracker) runs on. It is a classic event-calendar design: callbacks are
+// scheduled at absolute picosecond timestamps and executed in (time,
+// insertion-order) order, which makes simulations fully deterministic.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"t3sim/internal/units"
+)
+
+// Handler is a callback executed when its event fires. The engine's clock
+// already equals the event time when the handler runs.
+type Handler func()
+
+type event struct {
+	at  units.Time
+	seq uint64 // insertion order; breaks ties deterministically
+	fn  Handler
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event simulator. The zero value is
+// ready to use. Engines are not safe for concurrent use; all model code runs
+// inside event handlers on one goroutine.
+type Engine struct {
+	now       units.Time
+	seq       uint64
+	queue     eventQueue
+	processed uint64
+}
+
+// NewEngine returns an empty engine with the clock at zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulation time.
+func (e *Engine) Now() units.Time { return e.now }
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Pending returns the number of scheduled events not yet executed.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it always indicates a model bug.
+func (e *Engine) At(t units.Time, fn Handler) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, e.now))
+	}
+	if fn == nil {
+		panic("sim: scheduling nil handler")
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current time. Negative delays panic.
+func (e *Engine) After(d units.Time, fn Handler) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	e.At(e.now+d, fn)
+}
+
+// Run executes events until the queue is empty and returns the final clock
+// value.
+func (e *Engine) Run() units.Time {
+	for len(e.queue) > 0 {
+		e.step()
+	}
+	return e.now
+}
+
+// RunUntil executes events with timestamps <= deadline. Events scheduled
+// beyond the deadline remain queued; the clock is advanced to the deadline if
+// the queue drains or only later events remain.
+func (e *Engine) RunUntil(deadline units.Time) units.Time {
+	if deadline < e.now {
+		panic(fmt.Sprintf("sim: RunUntil(%v) before now %v", deadline, e.now))
+	}
+	for len(e.queue) > 0 && e.queue[0].at <= deadline {
+		e.step()
+	}
+	e.now = deadline
+	return e.now
+}
+
+func (e *Engine) step() {
+	ev := heap.Pop(&e.queue).(*event)
+	e.now = ev.at
+	e.processed++
+	ev.fn()
+}

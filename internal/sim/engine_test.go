@@ -1,0 +1,193 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"t3sim/internal/units"
+)
+
+func TestEventOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(30, func() { order = append(order, 3) })
+	e.At(10, func() { order = append(order, 1) })
+	e.At(20, func() { order = append(order, 2) })
+	end := e.Run()
+	if end != 30 {
+		t.Errorf("end time = %v, want 30", end)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v, want [1 2 3]", order)
+	}
+}
+
+func TestTieBreakIsInsertionOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.At(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	if !sort.IntsAreSorted(order) {
+		t.Errorf("same-time events ran out of insertion order: %v", order)
+	}
+}
+
+func TestAfterAndClock(t *testing.T) {
+	e := NewEngine()
+	var at1, at2 units.Time
+	e.After(100, func() {
+		at1 = e.Now()
+		e.After(50, func() { at2 = e.Now() })
+	})
+	e.Run()
+	if at1 != 100 || at2 != 150 {
+		t.Errorf("at1=%v at2=%v, want 100,150", at1, at2)
+	}
+	if e.Processed() != 2 {
+		t.Errorf("Processed = %d, want 2", e.Processed())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	e.At(10, func() { ran++ })
+	e.At(20, func() { ran++ })
+	e.At(30, func() { ran++ })
+	e.RunUntil(20)
+	if ran != 2 {
+		t.Errorf("ran = %d, want 2", ran)
+	}
+	if e.Now() != 20 {
+		t.Errorf("Now = %v, want 20", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1", e.Pending())
+	}
+	e.Run()
+	if ran != 3 || e.Now() != 30 {
+		t.Errorf("after Run: ran=%d now=%v", ran, e.Now())
+	}
+}
+
+func TestRunUntilAdvancesClockWithEmptyQueue(t *testing.T) {
+	e := NewEngine()
+	e.RunUntil(500)
+	if e.Now() != 500 {
+		t.Errorf("Now = %v, want 500", e.Now())
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic scheduling in the past")
+			}
+		}()
+		e.At(50, func() {})
+	})
+	e.Run()
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on negative delay")
+		}
+	}()
+	e.After(-1, func() {})
+}
+
+func TestNilHandlerPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on nil handler")
+		}
+	}()
+	e.At(1, nil)
+}
+
+func TestRandomizedOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	e := NewEngine()
+	var times []units.Time
+	for i := 0; i < 2000; i++ {
+		at := units.Time(rng.Intn(10000))
+		e.At(at, func() { times = append(times, e.Now()) })
+	}
+	e.Run()
+	for i := 1; i < len(times); i++ {
+		if times[i] < times[i-1] {
+			t.Fatalf("time went backwards at %d: %v < %v", i, times[i], times[i-1])
+		}
+	}
+	if len(times) != 2000 {
+		t.Errorf("executed %d events, want 2000", len(times))
+	}
+}
+
+func TestFence(t *testing.T) {
+	fired := 0
+	f := NewFence(3, func() { fired++ })
+	f.Done()
+	f.Done()
+	if f.Fired() {
+		t.Error("fence fired early")
+	}
+	f.Done()
+	if fired != 1 || !f.Fired() {
+		t.Errorf("fired=%d Fired=%v, want 1,true", fired, f.Fired())
+	}
+}
+
+func TestFenceZero(t *testing.T) {
+	fired := false
+	NewFence(0, func() { fired = true })
+	if !fired {
+		t.Error("zero fence should fire immediately")
+	}
+}
+
+func TestFenceAdd(t *testing.T) {
+	fired := false
+	f := NewFence(1, func() { fired = true })
+	f.Add(1)
+	f.Done()
+	if fired {
+		t.Error("fired before all completions")
+	}
+	if f.Remaining() != 1 {
+		t.Errorf("Remaining = %d, want 1", f.Remaining())
+	}
+	f.Done()
+	if !fired {
+		t.Error("did not fire after all completions")
+	}
+}
+
+func TestFenceMisuse(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("negative", func() { NewFence(-1, nil) })
+	f := NewFence(1, nil)
+	f.Done()
+	mustPanic("over-complete", func() { f.Done() })
+	mustPanic("add-after-fire", func() { f.Add(1) })
+	f2 := NewFence(2, nil)
+	mustPanic("negative-add", func() { f2.Add(-1) })
+}

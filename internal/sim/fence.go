@@ -1,0 +1,65 @@
+package sim
+
+// Fence fires a completion callback once a pre-declared number of operations
+// have finished. It is the simulation analogue of sync.WaitGroup and is used
+// for "stage done when all its reads/writes/packets completed" conditions.
+//
+// A Fence is created with Expect > 0; each Done decrements the outstanding
+// count and the callback runs (once, synchronously) when it reaches zero.
+type Fence struct {
+	remaining int
+	fired     bool
+	onDone    Handler
+}
+
+// NewFence returns a fence expecting n completions. If n is zero the callback
+// fires immediately on the first Arm call (or at creation if armed).
+func NewFence(n int, onDone Handler) *Fence {
+	if n < 0 {
+		panic("sim: fence with negative count")
+	}
+	f := &Fence{remaining: n, onDone: onDone}
+	if n == 0 {
+		f.fire()
+	}
+	return f
+}
+
+// Add increases the number of expected completions. Adding to an already
+// fired fence panics: completions must be declared before the fence drains.
+func (f *Fence) Add(n int) {
+	if n < 0 {
+		panic("sim: fence Add with negative count")
+	}
+	if f.fired {
+		panic("sim: Add on fired fence")
+	}
+	f.remaining += n
+}
+
+// Done records one completion.
+func (f *Fence) Done() {
+	if f.fired {
+		panic("sim: Done on fired fence")
+	}
+	f.remaining--
+	if f.remaining == 0 {
+		f.fire()
+	}
+	if f.remaining < 0 {
+		panic("sim: fence over-completed")
+	}
+}
+
+// Remaining returns the outstanding completion count.
+func (f *Fence) Remaining() int { return f.remaining }
+
+// Fired reports whether the fence has already triggered its callback.
+func (f *Fence) Fired() bool { return f.fired }
+
+func (f *Fence) fire() {
+	f.fired = true
+	if f.onDone != nil {
+		f.onDone()
+	}
+}

@@ -1,0 +1,116 @@
+// Package stats provides the small set of summary statistics used when
+// reporting experiment results: geometric means (the paper reports geomean
+// speedups), relative errors, and min/max helpers.
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrEmpty is returned by aggregations over empty inputs.
+var ErrEmpty = errors.New("stats: empty input")
+
+// Geomean returns the geometric mean of xs. All values must be positive.
+func Geomean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0, errors.New("stats: geomean of non-positive value")
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs))), nil
+}
+
+// MustGeomean is Geomean for inputs known to be valid; it panics on error.
+func MustGeomean(xs []float64) float64 {
+	g, err := Geomean(xs)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Mean returns the arithmetic mean of xs.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs)), nil
+}
+
+// Max returns the largest element of xs.
+func Max(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// Min returns the smallest element of xs.
+func Min(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// RelError returns |got-want| / |want|. It is used to validate the
+// discrete-event simulator against analytic references (paper Figure 14).
+func RelError(got, want float64) float64 {
+	if want == 0 {
+		if got == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}
+
+// GeomeanRelError returns the geometric mean of per-point relative errors,
+// mapping exact matches (error 0) to a 1e-12 floor so the geomean is defined.
+func GeomeanRelError(got, want []float64) (float64, error) {
+	if len(got) != len(want) {
+		return 0, errors.New("stats: length mismatch")
+	}
+	if len(got) == 0 {
+		return 0, ErrEmpty
+	}
+	errs := make([]float64, len(got))
+	for i := range got {
+		e := RelError(got[i], want[i])
+		if e < 1e-12 {
+			e = 1e-12
+		}
+		errs[i] = e
+	}
+	return Geomean(errs)
+}
+
+// Speedup returns base/new, the conventional speedup of new over base.
+func Speedup(base, new float64) float64 {
+	if new <= 0 {
+		return math.Inf(1)
+	}
+	return base / new
+}

@@ -1,0 +1,95 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeomean(t *testing.T) {
+	g, err := Geomean([]float64{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g-2) > 1e-12 {
+		t.Errorf("Geomean(1,4) = %v, want 2", g)
+	}
+	if _, err := Geomean(nil); err != ErrEmpty {
+		t.Errorf("Geomean(nil) err = %v, want ErrEmpty", err)
+	}
+	if _, err := Geomean([]float64{1, -1}); err == nil {
+		t.Error("Geomean with negative value: want error")
+	}
+}
+
+func TestGeomeanBetweenMinAndMax(t *testing.T) {
+	f := func(a, b, c uint16) bool {
+		xs := []float64{float64(a) + 1, float64(b) + 1, float64(c) + 1}
+		g := MustGeomean(xs)
+		lo, _ := Min(xs)
+		hi, _ := Max(xs)
+		return g >= lo-1e-9 && g <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanMinMax(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if m, _ := Mean(xs); m != 2 {
+		t.Errorf("Mean = %v, want 2", m)
+	}
+	if m, _ := Min(xs); m != 1 {
+		t.Errorf("Min = %v, want 1", m)
+	}
+	if m, _ := Max(xs); m != 3 {
+		t.Errorf("Max = %v, want 3", m)
+	}
+	for _, f := range []func([]float64) (float64, error){Mean, Min, Max} {
+		if _, err := f(nil); err != ErrEmpty {
+			t.Errorf("empty input err = %v, want ErrEmpty", err)
+		}
+	}
+}
+
+func TestRelError(t *testing.T) {
+	if e := RelError(110, 100); math.Abs(e-0.1) > 1e-12 {
+		t.Errorf("RelError = %v, want 0.1", e)
+	}
+	if e := RelError(0, 0); e != 0 {
+		t.Errorf("RelError(0,0) = %v, want 0", e)
+	}
+	if e := RelError(1, 0); !math.IsInf(e, 1) {
+		t.Errorf("RelError(1,0) = %v, want +Inf", e)
+	}
+}
+
+func TestGeomeanRelError(t *testing.T) {
+	got := []float64{110, 95}
+	want := []float64{100, 100}
+	g, err := GeomeanRelError(got, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantG := math.Sqrt(0.1 * 0.05)
+	if math.Abs(g-wantG) > 1e-12 {
+		t.Errorf("GeomeanRelError = %v, want %v", g, wantG)
+	}
+	if _, err := GeomeanRelError([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch: want error")
+	}
+	// Exact matches do not blow up the geomean.
+	if _, err := GeomeanRelError([]float64{1, 2}, []float64{1, 2}); err != nil {
+		t.Errorf("exact match: %v", err)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if s := Speedup(2, 1); s != 2 {
+		t.Errorf("Speedup = %v, want 2", s)
+	}
+	if s := Speedup(1, 0); !math.IsInf(s, 1) {
+		t.Errorf("Speedup(1,0) = %v, want +Inf", s)
+	}
+}

@@ -1,0 +1,165 @@
+package t3core
+
+import (
+	"testing"
+
+	"t3sim/internal/memory"
+)
+
+func TestRingReduceScatterMapStructure(t *testing.T) {
+	n := 4
+	for d := 0; d < n; d++ {
+		m := RingReduceScatterMap(d, n)
+		if err := m.Validate(); err != nil {
+			t.Fatalf("device %d: %v", d, err)
+		}
+		if m.Phases[0].Treatment != TreatRemote {
+			t.Errorf("device %d phase 0 = %v, want remote_map", d, m.Phases[0].Treatment)
+		}
+		if m.Phases[n-1].Treatment != TreatLocalFinal {
+			t.Errorf("device %d last phase = %v, want local", d, m.Phases[n-1].Treatment)
+		}
+		for p := 1; p < n-1; p++ {
+			pm := m.Phases[p]
+			if pm.Treatment != TreatDMA {
+				t.Errorf("device %d phase %d = %v, want dma_map", d, p, pm.Treatment)
+			}
+			if pm.UpdatesPerElement != 2 {
+				t.Errorf("device %d phase %d updates = %d, want 2 (ring-RS, §4.2.1)",
+					d, p, pm.UpdatesPerElement)
+			}
+			if pm.Op != memory.Update {
+				t.Errorf("device %d phase %d op = %v, want update", d, p, pm.Op)
+			}
+			if pm.Dest != (d+1)%n {
+				t.Errorf("device %d phase %d dest = %d, want next neighbor", d, p, pm.Dest)
+			}
+		}
+		// Owned chunk is produced last.
+		if m.Phases[n-1].Chunk != d {
+			t.Errorf("device %d owns chunk %d, want %d", d, m.Phases[n-1].Chunk, d)
+		}
+	}
+}
+
+func TestRingRSMapStaggering(t *testing.T) {
+	// In every phase, each chunk is produced by exactly one device — the
+	// §4.4 staggered schedule.
+	n := 8
+	for p := 0; p < n; p++ {
+		seen := make([]bool, n)
+		for d := 0; d < n; d++ {
+			c := RingReduceScatterMap(d, n).Phases[p].Chunk
+			if seen[c] {
+				t.Fatalf("phase %d: chunk %d produced twice", p, c)
+			}
+			seen[c] = true
+		}
+	}
+}
+
+func TestRingAllGatherMap(t *testing.T) {
+	n := 4
+	for d := 0; d < n; d++ {
+		m := RingAllGatherMap(d, n)
+		if err := m.Validate(); err != nil {
+			t.Fatalf("device %d: %v", d, err)
+		}
+		for _, pm := range m.Phases {
+			if pm.Op != memory.Write {
+				t.Errorf("AG phase %d op = %v, want write (no reductions, §7.1)", pm.Phase, pm.Op)
+			}
+			if pm.UpdatesPerElement != 1 {
+				t.Errorf("AG phase %d updates = %d, want 1", pm.Phase, pm.UpdatesPerElement)
+			}
+		}
+		if m.Phases[0].Chunk != d {
+			t.Errorf("device %d produces chunk %d first, want own shard", d, m.Phases[0].Chunk)
+		}
+	}
+}
+
+func TestDirectReduceScatterMap(t *testing.T) {
+	n := 4
+	for d := 0; d < n; d++ {
+		m := DirectReduceScatterMap(d, n)
+		if err := m.Validate(); err != nil {
+			t.Fatalf("device %d: %v", d, err)
+		}
+		locals, remotes := 0, 0
+		for _, pm := range m.Phases {
+			switch pm.Treatment {
+			case TreatLocalFinal:
+				locals++
+				if pm.Chunk != d {
+					t.Errorf("device %d keeps chunk %d, want %d", d, pm.Chunk, d)
+				}
+			case TreatRemote:
+				remotes++
+				if pm.Dest != pm.Chunk {
+					t.Errorf("chunk %d scattered to %d, want owner", pm.Chunk, pm.Dest)
+				}
+			default:
+				t.Errorf("direct-RS has treatment %v; it needs no DMAs (§7.1)", pm.Treatment)
+			}
+			if pm.UpdatesPerElement != n {
+				t.Errorf("direct-RS updates = %d, want %d", pm.UpdatesPerElement, n)
+			}
+		}
+		if locals != 1 || remotes != n-1 {
+			t.Errorf("device %d: %d local + %d remote, want 1 + %d", d, locals, remotes, n-1)
+		}
+	}
+}
+
+func TestAllToAllMap(t *testing.T) {
+	n := 4
+	for d := 0; d < n; d++ {
+		m := AllToAllMap(d, n)
+		if err := m.Validate(); err != nil {
+			t.Fatalf("device %d: %v", d, err)
+		}
+		for _, pm := range m.Phases {
+			if pm.Op != memory.Write {
+				t.Errorf("all-to-all op = %v, want write", pm.Op)
+			}
+			if pm.Treatment == TreatRemote && pm.Dest != pm.Chunk {
+				t.Errorf("chunk %d sent to %d", pm.Chunk, pm.Dest)
+			}
+		}
+	}
+}
+
+func TestAddressMapValidateRejects(t *testing.T) {
+	good := RingReduceScatterMap(0, 4)
+	cases := []func(*AddressMap){
+		func(m *AddressMap) { m.Devices = 1 },
+		func(m *AddressMap) { m.Device = 9 },
+		func(m *AddressMap) { m.Phases = m.Phases[:2] },
+		func(m *AddressMap) { m.Phases[1].Phase = 3 },
+		func(m *AddressMap) { m.Phases[1].Chunk = m.Phases[2].Chunk },
+		func(m *AddressMap) { m.Phases[1].Dest = 0 }, // self
+		func(m *AddressMap) { m.Phases[1].UpdatesPerElement = 0 },
+	}
+	for i, mutate := range cases {
+		m := good
+		m.Phases = append([]PhaseMap(nil), good.Phases...)
+		mutate(&m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if TreatRemote.String() != "remote_map" || TreatDMA.String() != "dma_map" ||
+		TreatLocalFinal.String() != "local" {
+		t.Error("treatment strings wrong")
+	}
+	if RingReduceScatter.String() != "ring-reduce-scatter" || AllToAll.String() != "all-to-all" {
+		t.Error("collective strings wrong")
+	}
+	if Treatment(9).String() == "" || Collective(9).String() == "" {
+		t.Error("unknown values should render")
+	}
+}

@@ -1,0 +1,102 @@
+package t3core
+
+import (
+	"testing"
+
+	"t3sim/internal/units"
+)
+
+func TestEventLogBasics(t *testing.T) {
+	l := &EventLog{}
+	l.Record(Event{At: 10, Kind: EventStageComputed, Stage: 0})
+	l.Record(Event{At: 20, Kind: EventDMATriggered, Tile: TileID{WG: 1}})
+	l.Record(Event{At: 30, Kind: EventDMATriggered, Tile: TileID{WG: 2}})
+	if l.Count(EventDMATriggered) != 2 || l.Count(EventGEMMDone) != 0 {
+		t.Error("Count wrong")
+	}
+	if e, ok := l.First(EventDMATriggered); !ok || e.At != 20 {
+		t.Errorf("First = %+v %v", e, ok)
+	}
+	if e, ok := l.Last(EventDMATriggered); !ok || e.At != 30 {
+		t.Errorf("Last = %+v %v", e, ok)
+	}
+	if _, ok := l.First(EventGEMMDone); ok {
+		t.Error("First should miss")
+	}
+	if _, ok := l.Last(EventGEMMDone); ok {
+		t.Error("Last should miss")
+	}
+	if len(l.Events()) != 3 {
+		t.Error("Events wrong")
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	kinds := []EventKind{EventStageComputed, EventRemoteWrite, EventDMATriggered,
+		EventOwnedTileDone, EventGEMMDone, EventCollectiveDone, EventKind(99)}
+	for _, k := range kinds {
+		if k.String() == "" {
+			t.Errorf("empty string for %d", int(k))
+		}
+	}
+}
+
+func TestFusedRunEmitsCoherentEvents(t *testing.T) {
+	o := fusedOpts(t, 4)
+	log := &EventLog{}
+	o.Events = log
+	res, err := RunFusedGEMMRS(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiles := o.Grid.NumWFs()
+
+	// Structural counts: one stage event per stage, remote writes for phase
+	// 0's tiles, DMA triggers for phases 1..n-2, owned completions for the
+	// last phase, and exactly one GEMM/collective completion each.
+	if got := log.Count(EventRemoteWrite); got != tiles/4 {
+		t.Errorf("remote writes = %d, want %d", got, tiles/4)
+	}
+	if got := log.Count(EventDMATriggered); got != tiles/2 {
+		t.Errorf("DMA triggers = %d, want %d", got, tiles/2)
+	}
+	if got := log.Count(EventOwnedTileDone); got != tiles/4 {
+		t.Errorf("owned completions = %d, want %d", got, tiles/4)
+	}
+	if log.Count(EventGEMMDone) != 1 || log.Count(EventCollectiveDone) != 1 {
+		t.Error("completion events wrong")
+	}
+
+	// Temporal coherence: events are monotone; the first remote write
+	// precedes the first DMA; completions match the result times.
+	var prev units.Time
+	for i, e := range log.Events() {
+		if e.At < prev {
+			t.Fatalf("event %d went back in time: %v < %v", i, e.At, prev)
+		}
+		prev = e.At
+	}
+	fw, _ := log.First(EventRemoteWrite)
+	fd, ok := log.First(EventDMATriggered)
+	if !ok || fw.At > fd.At {
+		t.Errorf("first remote write %v after first DMA %v", fw.At, fd.At)
+	}
+	if g, _ := log.First(EventGEMMDone); g.At != res.GEMMDone {
+		t.Errorf("GEMM event at %v, result says %v", g.At, res.GEMMDone)
+	}
+	if c, _ := log.First(EventCollectiveDone); c.At != res.CollectiveDone {
+		t.Errorf("collective event at %v, result says %v", c.At, res.CollectiveDone)
+	}
+	// DMA trigger count matches the result's counter.
+	if int64(log.Count(EventDMATriggered)) != res.DMATriggered {
+		t.Error("event count disagrees with result counter")
+	}
+}
+
+func TestFusedRunWithoutEventLog(t *testing.T) {
+	// No sink attached: runs fine, nothing recorded.
+	o := fusedOpts(t, 4)
+	if _, err := RunFusedGEMMRS(o); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,128 @@
+package t3core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func shardsFor(n, shardLen int, seed int64) [][]float32 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]float32, n)
+	for d := range out {
+		arr := make([]float32, shardLen)
+		for i := range arr {
+			arr[i] = float32(rng.Intn(2000)-1000) / 16
+		}
+		out[d] = arr
+	}
+	return out
+}
+
+func checkGathered(t *testing.T, shards [][]float32, res *FunctionalResult) {
+	t.Helper()
+	n := len(shards)
+	shardLen := len(shards[0])
+	for d := 0; d < n; d++ {
+		for s := 0; s < n; s++ {
+			for i := 0; i < shardLen; i++ {
+				if res.Buffers[d][s*shardLen+i] != shards[s][i] {
+					t.Fatalf("device %d shard %d elem %d = %v, want %v",
+						d, s, i, res.Buffers[d][s*shardLen+i], shards[s][i])
+				}
+			}
+		}
+	}
+}
+
+func TestFunctionalFusedAGGathersAllShards(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 8} {
+		for _, shardLen := range []int{16, 37, 256} {
+			shards := shardsFor(n, shardLen, int64(n*100+shardLen))
+			res, err := RunFunctionalFusedAllGather(shards, 8, 1)
+			if err != nil {
+				t.Fatalf("n=%d len=%d: %v", n, shardLen, err)
+			}
+			checkGathered(t, shards, res)
+		}
+	}
+}
+
+func TestFunctionalFusedAGProtocolCounts(t *testing.T) {
+	n, shardLen, tile := 4, 64, 8
+	shards := shardsFor(n, shardLen, 3)
+	res, err := RunFunctionalFusedAllGather(shards, tile, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiles := shardLen / tile
+	for d := 0; d < n; d++ {
+		// Tracked: every arriving hop of every foreign shard.
+		wantFired := int64((n - 1) * tiles)
+		if res.TrackerFired[d] != wantFired {
+			t.Errorf("device %d fired %d, want %d", d, res.TrackerFired[d], wantFired)
+		}
+		// Forwards: hops 1..n-2.
+		wantDMA := int64((n - 2) * tiles)
+		if res.DMATriggered[d] != wantDMA {
+			t.Errorf("device %d DMA %d, want %d", d, res.DMATriggered[d], wantDMA)
+		}
+		if res.RemoteWrites[d] != int64(tiles) {
+			t.Errorf("device %d remote writes %d, want %d", d, res.RemoteWrites[d], tiles)
+		}
+	}
+}
+
+func TestFunctionalFusedAGOrderIndependence(t *testing.T) {
+	shards := shardsFor(4, 96, 9)
+	for seed := int64(0); seed < 6; seed++ {
+		res, err := RunFunctionalFusedAllGather(shards, 16, seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		checkGathered(t, shards, res)
+	}
+}
+
+func TestFunctionalFusedAGProperty(t *testing.T) {
+	f := func(nRaw, lenRaw uint8, seed int64) bool {
+		n := int(nRaw)%6 + 2
+		shardLen := int(lenRaw)%200 + 1
+		shards := shardsFor(n, shardLen, seed)
+		res, err := RunFunctionalFusedAllGather(shards, 8, seed)
+		if err != nil {
+			return false
+		}
+		for d := 0; d < n; d++ {
+			for s := 0; s < n; s++ {
+				for i := 0; i < shardLen; i++ {
+					if res.Buffers[d][s*shardLen+i] != shards[s][i] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFunctionalFusedAGValidation(t *testing.T) {
+	if _, err := RunFunctionalFusedAllGather(nil, 8, 1); err == nil {
+		t.Error("nil shards: expected error")
+	}
+	if _, err := RunFunctionalFusedAllGather([][]float32{{1}}, 8, 1); err == nil {
+		t.Error("single device: expected error")
+	}
+	if _, err := RunFunctionalFusedAllGather([][]float32{{1}, {1, 2}}, 8, 1); err == nil {
+		t.Error("ragged shards: expected error")
+	}
+	if _, err := RunFunctionalFusedAllGather([][]float32{{}, {}}, 8, 1); err == nil {
+		t.Error("empty shards: expected error")
+	}
+	if _, err := RunFunctionalFusedAllGather(shardsFor(2, 8, 1), 0, 1); err == nil {
+		t.Error("zero tile: expected error")
+	}
+}

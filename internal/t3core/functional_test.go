@@ -1,0 +1,151 @@
+package t3core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"t3sim/internal/collective"
+)
+
+func contributions(n, length int, seed int64) [][]float32 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]float32, n)
+	for d := range out {
+		arr := make([]float32, length)
+		for i := range arr {
+			arr[i] = float32(rng.Intn(2000)-1000) / 16
+		}
+		out[d] = arr
+	}
+	return out
+}
+
+func checkOwnedChunks(t *testing.T, n, length int, data [][]float32, res *FunctionalResult) {
+	t.Helper()
+	ref, err := collective.ReferenceAllReduce(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds := collective.ChunkBounds(length, n)
+	for d := 0; d < n; d++ {
+		b := bounds[collective.OwnedChunk(d, n)]
+		for e := b[0]; e < b[1]; e++ {
+			if math.Abs(float64(res.Buffers[d][e]-ref[e])) > 1e-3 {
+				t.Fatalf("n=%d device %d elem %d = %v, want %v", n, d, e, res.Buffers[d][e], ref[e])
+			}
+		}
+	}
+}
+
+func TestFusedRSMatchesReference(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 8} {
+		for _, length := range []int{64, 97, 1024} {
+			data := contributions(n, length, int64(n*7+length))
+			res, err := RunFunctionalFusedReduceScatter(data, 16, 1)
+			if err != nil {
+				t.Fatalf("n=%d len=%d: %v", n, length, err)
+			}
+			checkOwnedChunks(t, n, length, data, res)
+		}
+	}
+}
+
+func TestFusedRSOrderIndependence(t *testing.T) {
+	// The protocol must produce the same result under any production order.
+	n, length := 4, 512
+	data := contributions(n, length, 99)
+	for seed := int64(0); seed < 8; seed++ {
+		res, err := RunFunctionalFusedReduceScatter(data, 8, seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		checkOwnedChunks(t, n, length, data, res)
+	}
+}
+
+func TestFusedRSProperty(t *testing.T) {
+	f := func(nRaw, lenRaw uint8, seed int64) bool {
+		n := int(nRaw)%6 + 2
+		length := int(lenRaw)%400 + n // at least one element per chunk
+		data := contributions(n, length, seed)
+		res, err := RunFunctionalFusedReduceScatter(data, 8, seed)
+		if err != nil {
+			return false
+		}
+		ref, _ := collective.ReferenceAllReduce(data)
+		bounds := collective.ChunkBounds(length, n)
+		for d := 0; d < n; d++ {
+			b := bounds[collective.OwnedChunk(d, n)]
+			for e := b[0]; e < b[1]; e++ {
+				if math.Abs(float64(res.Buffers[d][e]-ref[e])) > 1e-3 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFusedRSProtocolCounts(t *testing.T) {
+	n, length, tile := 4, 1024, 32
+	data := contributions(n, length, 5)
+	res, err := RunFunctionalFusedReduceScatter(data, tile, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tilesPerChunk := (length / n) / tile // 8
+	for d := 0; d < n; d++ {
+		// Tracked tiles: phases 1..n-1, one fire each.
+		wantFired := int64((n - 1) * tilesPerChunk)
+		if res.TrackerFired[d] != wantFired {
+			t.Errorf("device %d fired %d, want %d", d, res.TrackerFired[d], wantFired)
+		}
+		// DMA triggers: phases 1..n-2 only.
+		wantDMA := int64((n - 2) * tilesPerChunk)
+		if res.DMATriggered[d] != wantDMA {
+			t.Errorf("device %d DMA %d, want %d", d, res.DMATriggered[d], wantDMA)
+		}
+		// Remote writes: phase 0 only.
+		if res.RemoteWrites[d] != int64(tilesPerChunk) {
+			t.Errorf("device %d remote writes %d, want %d", d, res.RemoteWrites[d], tilesPerChunk)
+		}
+	}
+}
+
+func TestFusedRSStaysWithinTrackerBudget(t *testing.T) {
+	// Even for a large array the live-entry high-water mark must fit the
+	// 19 KB hardware structure (256 sets × 8 ways).
+	n, length := 8, 64*1024
+	data := contributions(n, length, 11)
+	res, err := RunFunctionalFusedReduceScatter(data, 64, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _ := NewTracker(DefaultTrackerConfig())
+	for d := 0; d < n; d++ {
+		if res.TrackerMaxLive[d] > tr.Capacity() {
+			t.Errorf("device %d tracker high-water %d exceeds capacity %d",
+				d, res.TrackerMaxLive[d], tr.Capacity())
+		}
+	}
+}
+
+func TestFusedRSInputValidation(t *testing.T) {
+	if _, err := RunFunctionalFusedReduceScatter(nil, 8, 1); err == nil {
+		t.Error("nil input: expected error")
+	}
+	if _, err := RunFunctionalFusedReduceScatter([][]float32{{1}}, 8, 1); err == nil {
+		t.Error("single device: expected error")
+	}
+	if _, err := RunFunctionalFusedReduceScatter([][]float32{{1}, {1, 2}}, 8, 1); err == nil {
+		t.Error("ragged input: expected error")
+	}
+	if _, err := RunFunctionalFusedReduceScatter(contributions(2, 16, 1), 0, 1); err == nil {
+		t.Error("zero tile: expected error")
+	}
+}

@@ -1,0 +1,551 @@
+package t3core
+
+import (
+	"fmt"
+
+	"t3sim/internal/gemm"
+	"t3sim/internal/gpu"
+	"t3sim/internal/interconnect"
+	"t3sim/internal/memory"
+	"t3sim/internal/sim"
+	"t3sim/internal/units"
+)
+
+// Arbitration selects the memory-controller policy for a fused run (§5.3's
+// T3 vs T3-MCA configurations).
+type Arbitration int
+
+// Arbitration policies.
+const (
+	// ArbRoundRobin is the baseline round-robin-with-fallback policy (the
+	// plain T3 configuration).
+	ArbRoundRobin Arbitration = iota
+	// ArbMCA is the communication-aware dynamic policy of §4.5 (T3-MCA).
+	ArbMCA
+	// ArbComputeFirst always prioritizes the compute stream (ablation).
+	ArbComputeFirst
+)
+
+// String implements fmt.Stringer.
+func (a Arbitration) String() string {
+	switch a {
+	case ArbRoundRobin:
+		return "round-robin"
+	case ArbMCA:
+		return "mca"
+	case ArbComputeFirst:
+		return "compute-first"
+	default:
+		return fmt.Sprintf("Arbitration(%d)", int(a))
+	}
+}
+
+// FusedOptions parameterizes a fused GEMM→collective timing run.
+type FusedOptions struct {
+	GPU     gpu.Config
+	Memory  memory.Config
+	Link    interconnect.Config
+	Tracker TrackerConfig
+	// Devices is the tensor-parallel degree (ring size).
+	Devices int
+	// Grid is the (already K-sliced) producer GEMM.
+	Grid gemm.Grid
+	// Arbitration picks the MC policy; ArbMCA also enables the §4.5 monitor
+	// window during the GEMM's first stage.
+	Arbitration Arbitration
+	// Collective selects the fused collective; RingReduceScatter and
+	// DirectReduceScatter are supported by the timing model.
+	Collective Collective
+	// GEMMCUs restricts the producer's CU allocation (0 = all). T3 itself
+	// never steals CUs; this exists for ablations.
+	GEMMCUs int
+	// Observer, if non-nil, receives every memory-controller issue (used to
+	// capture the Figure 17 DRAM traffic timeline).
+	Observer memory.Observer
+	// CustomArbiter, if non-nil, overrides Arbitration with a caller-built
+	// policy (fixed-threshold MCA ablations, §6.1.3).
+	CustomArbiter memory.Arbiter
+	// DMATilesPerBlock sets the DMA block granularity in wavefront tiles
+	// (§4.2.2: "the granularity of the DMA block/table entry is set to be
+	// equal to or larger than the Tracker granularity"). 0 or 1 means one
+	// tile per DMA; larger blocks make communication burstier.
+	DMATilesPerBlock int
+	// Events, if non-nil, receives the run's observability events.
+	Events *EventLog
+	// DoubleBufferedGEMM runs the producer with operand prefetching
+	// (software pipelining) instead of the conservative read-then-compute
+	// stage schedule.
+	DoubleBufferedGEMM bool
+}
+
+// emit records an observability event when a log is attached.
+func (o FusedOptions) emit(at units.Time, kind EventKind, stage int, tile TileID) {
+	if o.Events != nil {
+		o.Events.Record(Event{At: at, Kind: kind, Stage: stage, Tile: tile})
+	}
+}
+
+// Validate reports whether the options are usable.
+func (o FusedOptions) Validate() error {
+	if err := o.GPU.Validate(); err != nil {
+		return err
+	}
+	if err := o.Memory.Validate(); err != nil {
+		return err
+	}
+	if err := o.Link.Validate(); err != nil {
+		return err
+	}
+	if err := o.Tracker.Validate(); err != nil {
+		return err
+	}
+	if o.Devices < 2 {
+		return fmt.Errorf("t3core: fused run needs >= 2 devices, got %d", o.Devices)
+	}
+	if err := o.Grid.Shape.Validate(); err != nil {
+		return err
+	}
+	if err := o.Grid.Tiling.Validate(); err != nil {
+		return err
+	}
+	if o.Collective != RingReduceScatter && o.Collective != DirectReduceScatter {
+		return fmt.Errorf("t3sim: timing model supports ring and direct reduce-scatter, not %v", o.Collective)
+	}
+	tiles := o.Grid.NumWFs() / o.Grid.Tiling.SplitK
+	if tiles < o.Devices {
+		return fmt.Errorf("t3core: %d wavefront tiles cannot chunk across %d devices", tiles, o.Devices)
+	}
+	return nil
+}
+
+// FusedResult reports a fused run's timing and traffic.
+type FusedResult struct {
+	// GEMMDone is when the producer kernel finished (all stores accepted).
+	GEMMDone units.Time
+	// CollectiveDone is when the device's owned chunk completed (its
+	// reduce-scatter postcondition held).
+	CollectiveDone units.Time
+	// Done is CollectiveDone plus the communication-stream drain at the
+	// kernel boundary (§4.5).
+	Done units.Time
+	// DRAM is the device's memory traffic.
+	DRAM memory.Counters
+	// LinkBytes is the traffic the device pushed onto its forward ring link.
+	LinkBytes units.Bytes
+	// TrackerMaxLive is the tracker's live-entry high-water mark.
+	TrackerMaxLive int
+	// DMATriggered counts triggered DMA commands.
+	DMATriggered int64
+	// MCAThreshold is the calibrated occupancy limit (0 if not MCA; -1 if
+	// unlimited).
+	MCAThreshold int
+	// StageReads echoes the GEMM's per-stage DRAM read bytes.
+	StageReads []units.Bytes
+}
+
+// fusedRun is the single-GPU mirror simulation of §5.1.1: all devices in a
+// tensor-parallel group execute identically, so the run models device 0 and
+// generates its incoming traffic by mirroring its own outgoing sends — each
+// delivered send also stands for the identical send of the previous
+// neighbor arriving here, targeting the next production phase's chunk.
+type fusedRun struct {
+	o       FusedOptions
+	eng     *sim.Engine
+	mem     *memory.Controller
+	links   []*interconnect.Link // 1 for ring; n-1 dedicated for direct-RS
+	tracker *Tracker
+	dma     *DMATable
+
+	tileBytes  units.Bytes
+	totalTiles int
+	phaseStart []int // tile index where each phase's chunk begins
+
+	wgCursor int // production cursor for the GEMM sink
+
+	// blockFill counts fired tiles per DMA block when DMATilesPerBlock > 1.
+	blockFill map[[2]int]int
+
+	ownedFence *sim.Fence
+	result     FusedResult
+	err        error
+}
+
+// RunFusedGEMMRS executes a fused GEMM→reduce-scatter and returns its
+// timing and traffic. This is the paper's T3 (Arbitration=ArbRoundRobin) or
+// T3-MCA (ArbMCA) configuration for one sub-layer.
+func RunFusedGEMMRS(o FusedOptions) (FusedResult, error) {
+	if err := o.Validate(); err != nil {
+		return FusedResult{}, err
+	}
+	r := &fusedRun{o: o, eng: sim.NewEngine()}
+
+	arb := o.CustomArbiter
+	if arb == nil {
+		var err error
+		if arb, err = newArbiter(o.Arbitration); err != nil {
+			return FusedResult{}, err
+		}
+	}
+	mc, err := memory.NewController(r.eng, o.Memory, arb)
+	if err != nil {
+		return FusedResult{}, err
+	}
+	r.mem = mc
+	if o.Observer != nil {
+		mc.SetObserver(o.Observer)
+	}
+	nLinks := 1
+	if o.Collective == DirectReduceScatter {
+		nLinks = o.Devices - 1 // fully-connected: a dedicated link per peer
+	}
+	for i := 0; i < nLinks; i++ {
+		link, err := interconnect.NewLink(r.eng, o.Link)
+		if err != nil {
+			return FusedResult{}, err
+		}
+		r.links = append(r.links, link)
+	}
+
+	if err := r.setupTiles(); err != nil {
+		return FusedResult{}, err
+	}
+	if err := r.setupTracker(); err != nil {
+		return FusedResult{}, err
+	}
+
+	kernel := &gpu.GEMMKernel{
+		Eng:               r.eng,
+		Mem:               mc,
+		GPU:               o.GPU,
+		Grid:              o.Grid,
+		CUs:               o.GEMMCUs,
+		OutputBypassesLLC: true, // §4.3: fused outputs are uncached
+		Monitor:           o.Arbitration == ArbMCA,
+		WriteStage:        r.writeStage,
+		DoubleBuffered:    o.DoubleBufferedGEMM,
+		OnStageComputed: func(stage, _ int) {
+			o.emit(r.eng.Now(), EventStageComputed, stage, TileID{})
+		},
+	}
+	if err := kernel.Start(func() {
+		r.result.GEMMDone = r.eng.Now()
+		o.emit(r.eng.Now(), EventGEMMDone, 0, TileID{})
+	}); err != nil {
+		return FusedResult{}, err
+	}
+	r.eng.Run()
+	if r.err != nil {
+		return FusedResult{}, r.err
+	}
+	if !r.ownedFence.Fired() {
+		return FusedResult{}, fmt.Errorf("t3core: fused run stalled: %d owned tiles outstanding",
+			r.ownedFence.Remaining())
+	}
+	r.result.DRAM = *mc.Counters()
+	for _, l := range r.links {
+		r.result.LinkBytes += l.SentBytes()
+	}
+	r.result.TrackerMaxLive = r.tracker.MaxLive()
+	r.result.DMATriggered = r.dma.Triggered()
+	if mca, ok := arb.(*memory.MCA); ok {
+		r.result.MCAThreshold = mca.Threshold()
+	}
+	r.result.StageReads = kernel.StageReads()
+	return r.result, nil
+}
+
+// setupTiles chunks the wavefront-tile space across devices.
+func (r *fusedRun) setupTiles() error {
+	g := r.o.Grid
+	r.tileBytes = g.WFTileBytes()
+	r.totalTiles = g.NumWFs() / g.Tiling.SplitK
+	n := r.o.Devices
+	r.phaseStart = make([]int, n+1)
+	for p := 0; p <= n; p++ {
+		r.phaseStart[p] = p * r.totalTiles / n
+	}
+	return nil
+}
+
+func (r *fusedRun) phaseOf(tile int) int {
+	// Phases are near-equal contiguous ranges; derive then fix up rounding.
+	n := r.o.Devices
+	p := tile * n / r.totalTiles
+	for p > 0 && tile < r.phaseStart[p] {
+		p--
+	}
+	for p < n-1 && tile >= r.phaseStart[p+1] {
+		p++
+	}
+	return p
+}
+
+func (r *fusedRun) phaseSize(p int) int { return r.phaseStart[p+1] - r.phaseStart[p] }
+
+// setupTracker programs the tracker and DMA table per the §4.4 address map.
+func (r *fusedRun) setupTracker() error {
+	tr, err := NewTracker(r.o.Tracker)
+	if err != nil {
+		return err
+	}
+	r.tracker = tr
+	r.dma = NewDMATable()
+	n := r.o.Devices
+	updates := 1 + r.o.Grid.Tiling.SplitK // incoming + one local per K-slice (§7.7)
+	if r.o.Collective == DirectReduceScatter {
+		// Direct-RS: only the owned 1/n slice of each tile lands in local
+		// memory, but it arrives from all n devices (and SplitK K-slices),
+		// totaling exactly SplitK tile footprints at the controller.
+		updates = r.o.Grid.Tiling.SplitK
+	}
+	err = tr.SetProgram(Program{
+		WFTileBytes:       r.tileBytes,
+		UpdatesPerElement: updates,
+		OnReady:           r.onTileReady,
+	})
+	if err != nil {
+		return err
+	}
+	if r.o.Collective == RingReduceScatter {
+		// dma_map phases 1..n-2 forward to the next neighbor.
+		next := 1 % n // device 0's forward neighbor
+		for p := 1; p < n-1; p++ {
+			for t := r.phaseStart[p]; t < r.phaseStart[p+1]; t++ {
+				err := r.dma.Program(r.tileIDOf(t), DMACommand{
+					DestDevice: next,
+					Op:         memory.Update,
+					Bytes:      r.tileBytes,
+				})
+				if err != nil {
+					return err
+				}
+			}
+		}
+	}
+	r.ownedFence = sim.NewFence(r.ownedTiles(), func() {
+		r.result.CollectiveDone = r.eng.Now()
+		r.o.emit(r.eng.Now(), EventCollectiveDone, 0, TileID{})
+		// §4.5: the communication stream drains at the kernel boundary.
+		r.mem.WhenIdle(memory.StreamComm, func() { r.result.Done = r.eng.Now() })
+	})
+	return nil
+}
+
+// ownedTiles returns how many tiles the device's owned region holds: the
+// last production phase for ring-RS; every tile's owned slice for direct-RS.
+func (r *fusedRun) ownedTiles() int {
+	if r.o.Collective == DirectReduceScatter {
+		return r.totalTiles
+	}
+	return r.phaseSize(r.o.Devices - 1)
+}
+
+func (r *fusedRun) tileIDOf(t int) TileID {
+	return TileID{WG: t / 8, WF: t % 8}
+}
+
+func (r *fusedRun) tileOf(id TileID) int { return id.WG*8 + id.WF }
+
+// writeStage is the GEMM's output sink: it routes each of the stage's
+// wavefront-tile updates per the address-space configuration. With split-K,
+// consecutive K-slice WGs update the same tile, each writing the full tile
+// footprint of partial sums (§7.7). onDone runs when the stage's local
+// stores are accepted (remote stores are fire-and-forget peer writes).
+func (r *fusedRun) writeStage(_, wgs int, _ units.Bytes, onDone sim.Handler) {
+	til := r.o.Grid.Tiling
+	w0 := r.wgCursor
+	r.wgCursor += wgs
+
+	var updates []int // one entry per tile update this stage performs
+	for w := w0; w < w0+wgs; w++ {
+		base := (w / til.SplitK) * til.WFPerWG
+		for wf := 0; wf < til.WFPerWG; wf++ {
+			if t := base + wf; t < r.totalTiles {
+				updates = append(updates, t)
+			}
+		}
+	}
+	local := 0
+	for _, t := range updates {
+		if !r.treatRemote(t) {
+			local++
+		}
+	}
+	fence := sim.NewFence(local, onDone)
+	for _, t := range updates {
+		if r.treatRemote(t) {
+			r.sendRemote(t)
+			continue
+		}
+		tile := t
+		r.mem.Transfer(memory.Update, memory.StreamCompute, r.tileBytes,
+			memory.Tag{WG: tile / 8, WF: tile % 8}, func() {
+				r.observe(r.tileIDOf(tile))
+				fence.Done()
+			})
+	}
+}
+
+// treatRemote reports whether a tile's production stores are remote-mapped.
+func (r *fusedRun) treatRemote(t int) bool {
+	if r.o.Collective == DirectReduceScatter {
+		// All stores are sliced across peers; the local share is handled in
+		// sendRemote's accounting. Treat every tile as remote-ish and model
+		// the owned fraction separately.
+		return true
+	}
+	return r.phaseOf(t) == 0
+}
+
+// sendRemote models one remote-mapped tile store: it goes over the link as
+// the GEMM produces it; by mirror symmetry each delivery also represents the
+// previous neighbor's identical store arriving here.
+func (r *fusedRun) sendRemote(t int) {
+	if r.o.Collective == DirectReduceScatter {
+		r.sendDirect(t)
+		return
+	}
+	r.o.emit(r.eng.Now(), EventRemoteWrite, 0, r.tileIDOf(t))
+	r.links[0].Send(r.tileBytes, func() {
+		// Mirror: the neighbor's phase-0 store of the chunk I produce in
+		// phase 1 arrives now, as an NMC update on the comm stream.
+		for _, target := range r.mirrorTargets(t, 0) {
+			r.incomingUpdate(target)
+		}
+	})
+}
+
+// sendDirect models one direct-RS tile store: (n-1)/n of the tile scatters
+// to peers over dedicated links, 1/n stays local; by mirror symmetry each
+// remote delivery is a peer's slice of my owned region arriving. The tile's
+// owned slice completes when all n contributions land — exactly one tile
+// footprint at the controller.
+func (r *fusedRun) sendDirect(t int) {
+	n := r.o.Devices
+	sliceBytes := r.tileBytes / units.Bytes(n)
+	localSlice := r.tileBytes - units.Bytes(n-1)*sliceBytes // absorbs remainder
+	tile := t
+	r.mem.Transfer(memory.Update, memory.StreamCompute, localSlice,
+		memory.Tag{WG: tile / 8, WF: tile % 8}, func() {
+			r.observeBytes(r.tileIDOf(tile), localSlice)
+		})
+	if sliceBytes == 0 {
+		return
+	}
+	for p := 1; p < n; p++ {
+		r.links[p-1].Send(sliceBytes, func() {
+			r.mem.Transfer(memory.Update, memory.StreamComm, sliceBytes,
+				memory.Tag{WG: tile / 8, WF: tile % 8}, func() {
+					r.observeBytes(r.tileIDOf(tile), sliceBytes)
+				})
+		})
+	}
+}
+
+// mirrorTargets maps my tile of phase p to the corresponding tile(s) of
+// phase p+1, the region my neighbor's identical send updates here. Boundary
+// rounding can leave the last target tile without a source (or vice versa):
+// a source fragment with no target yields no entries, and when the source
+// phase is smaller than the target the last source tile also carries the
+// target's final fragment.
+func (r *fusedRun) mirrorTargets(t, p int) []int {
+	i := t - r.phaseStart[p]
+	nextSize := r.phaseSize(p + 1)
+	if i >= nextSize {
+		return nil
+	}
+	targets := []int{r.phaseStart[p+1] + i}
+	if i == r.phaseSize(p)-1 && nextSize > r.phaseSize(p) {
+		targets = append(targets, r.phaseStart[p+1]+nextSize-1)
+	}
+	return targets
+}
+
+// incomingUpdate stages an arriving (mirrored) update in local memory on the
+// communication stream and lets the tracker count it.
+func (r *fusedRun) incomingUpdate(target int) {
+	tile := target
+	kind := memory.Update
+	r.mem.Transfer(kind, memory.StreamComm, r.tileBytes,
+		memory.Tag{WG: tile / 8, WF: tile % 8}, func() {
+			r.observe(r.tileIDOf(tile))
+		})
+}
+
+func (r *fusedRun) observe(id TileID) { r.observeBytes(id, r.tileBytes) }
+
+func (r *fusedRun) observeBytes(id TileID, b units.Bytes) {
+	if err := r.tracker.Observe(id, b); err != nil && r.err == nil {
+		r.err = err
+	}
+}
+
+// onTileReady is the tracker trigger: forward dma_mapped tiles, count owned
+// ones.
+func (r *fusedRun) onTileReady(id TileID) {
+	t := r.tileOf(id)
+	if r.o.Collective == DirectReduceScatter {
+		// Completion of a tile means its owned slice (and mirrored peers')
+		// finished; no forwarding exists in direct-RS.
+		r.ownedFence.Done()
+		return
+	}
+	p := r.phaseOf(t)
+	if p == r.o.Devices-1 {
+		r.o.emit(r.eng.Now(), EventOwnedTileDone, 0, id)
+		r.ownedFence.Done()
+		return
+	}
+	cmd, ok := r.dma.MarkReady(id)
+	if !ok {
+		r.err = fmt.Errorf("t3core: tile %+v (phase %d) ready but no DMA command", id, p)
+		return
+	}
+	r.o.emit(r.eng.Now(), EventDMATriggered, 0, id)
+	k := r.o.DMATilesPerBlock
+	if k <= 1 {
+		r.dmaSend(p, []int{t}, cmd.Bytes)
+		return
+	}
+	// Block-granular DMA (§4.2.2): the completing tile marks its block
+	// entry; the block transfers once every member tile has fired.
+	if r.blockFill == nil {
+		r.blockFill = make(map[[2]int]int)
+	}
+	i := t - r.phaseStart[p]
+	key := [2]int{p, i / k}
+	r.blockFill[key]++
+	first := r.phaseStart[p] + key[1]*k
+	last := first + k
+	if end := r.phaseStart[p+1]; last > end {
+		last = end
+	}
+	if r.blockFill[key] < last-first {
+		return
+	}
+	delete(r.blockFill, key)
+	tiles := make([]int, 0, last-first)
+	for bt := first; bt < last; bt++ {
+		tiles = append(tiles, bt)
+	}
+	r.dmaSend(p, tiles, units.Bytes(len(tiles))*r.tileBytes)
+}
+
+// dmaSend performs one triggered DMA: read the reduced tiles locally, push
+// them over the ring; the mirrored delivery is the neighbor's DMA arriving
+// for my next phase, updating memory and crediting each target tile.
+func (r *fusedRun) dmaSend(p int, tiles []int, total units.Bytes) {
+	head := tiles[0]
+	tag := memory.Tag{WG: head / 8, WF: head % 8}
+	r.mem.Transfer(memory.Read, memory.StreamComm, total, tag, func() {
+		r.links[0].Send(total, func() {
+			r.mem.Transfer(memory.Update, memory.StreamComm, total, tag, func() {
+				for _, t := range tiles {
+					for _, target := range r.mirrorTargets(t, p) {
+						r.observe(r.tileIDOf(target))
+					}
+				}
+			})
+		})
+	})
+}

@@ -1,0 +1,390 @@
+package t3core
+
+import (
+	"fmt"
+
+	"t3sim/internal/gpu"
+	"t3sim/internal/interconnect"
+	"t3sim/internal/memory"
+	"t3sim/internal/sim"
+	"t3sim/internal/units"
+)
+
+// This file implements the §7.1 collective variants of the fused runner:
+// ring all-gather (a column-parallel producer's shard is distributed to all
+// devices, no reductions) and all-to-all (the expert-parallel exchange of
+// §7.2, where chunk j of the producer's output belongs to device j).
+//
+// Both reuse the single-GPU mirror methodology of RunFusedGEMMRS: the run
+// models device 0 and generates incoming traffic by mirroring its own sends.
+
+// RunFusedGEMMAG executes a fused GEMM→ring-all-gather: o.Grid is the
+// producer's local shard (a column-parallel slice); as the GEMM produces
+// shard tiles they are stored locally and remote-written to the next
+// device, and every received tile is staged and forwarded hop by hop until
+// all devices hold all shards. Stores are plain writes — the tracker's
+// trigger condition is a single update per element (§7.1).
+func RunFusedGEMMAG(o FusedOptions) (FusedResult, error) {
+	if o.Collective != RingAllGather {
+		return FusedResult{}, fmt.Errorf("t3core: RunFusedGEMMAG needs Collective=RingAllGather, got %v", o.Collective)
+	}
+	if err := validateFusedCommon(o); err != nil {
+		return FusedResult{}, err
+	}
+	r := &agRun{o: o, eng: sim.NewEngine()}
+	return r.run()
+}
+
+// RunFusedGEMMAllToAll executes a fused GEMM→all-to-all: chunk j of the
+// producer's output is remote-written directly to device j as it is
+// produced; the owned chunk is stored locally; nothing is reduced or
+// forwarded (§7.1, §7.2 expert parallelism).
+func RunFusedGEMMAllToAll(o FusedOptions) (FusedResult, error) {
+	if o.Collective != AllToAll {
+		return FusedResult{}, fmt.Errorf("t3core: RunFusedGEMMAllToAll needs Collective=AllToAll, got %v", o.Collective)
+	}
+	if err := validateFusedCommon(o); err != nil {
+		return FusedResult{}, err
+	}
+	r := &a2aRun{o: o, eng: sim.NewEngine()}
+	return r.run()
+}
+
+// validateFusedCommon checks the option fields shared by all fused runners.
+func validateFusedCommon(o FusedOptions) error {
+	if err := o.GPU.Validate(); err != nil {
+		return err
+	}
+	if err := o.Memory.Validate(); err != nil {
+		return err
+	}
+	if err := o.Link.Validate(); err != nil {
+		return err
+	}
+	if err := o.Tracker.Validate(); err != nil {
+		return err
+	}
+	if o.Devices < 2 {
+		return fmt.Errorf("t3core: fused run needs >= 2 devices, got %d", o.Devices)
+	}
+	if err := o.Grid.Shape.Validate(); err != nil {
+		return err
+	}
+	if err := o.Grid.Tiling.Validate(); err != nil {
+		return err
+	}
+	if o.Grid.Tiling.SplitK != 1 {
+		return fmt.Errorf("t3core: fused all-gather/all-to-all support SplitK=1 only")
+	}
+	tiles := o.Grid.NumWFs()
+	if tiles < o.Devices {
+		return fmt.Errorf("t3core: %d wavefront tiles cannot chunk across %d devices", tiles, o.Devices)
+	}
+	return nil
+}
+
+// newArbiter builds the configured arbitration policy.
+func newArbiter(a Arbitration) (memory.Arbiter, error) {
+	switch a {
+	case ArbRoundRobin:
+		return &memory.RoundRobin{}, nil
+	case ArbMCA:
+		return memory.NewMCA(memory.DefaultMCAConfig()), nil
+	case ArbComputeFirst:
+		return memory.ComputeFirst{}, nil
+	default:
+		return nil, fmt.Errorf("t3core: unknown arbitration %v", a)
+	}
+}
+
+// agRun is the fused all-gather mirror run. The producer's shard has T
+// tiles; hop h ∈ 1..n-1 of tile t is the copy of some shard arriving after
+// h ring hops. Virtual tile ids t + h·T keep the hops distinct in the
+// tracker and DMA table.
+type agRun struct {
+	o    FusedOptions
+	eng  *sim.Engine
+	mem  *memory.Controller
+	link *interconnect.Link
+	trk  *Tracker
+	dma  *DMATable
+
+	tileBytes  units.Bytes
+	shardTiles int
+	wgCursor   int
+
+	done   *sim.Fence
+	result FusedResult
+	err    error
+}
+
+func (r *agRun) run() (FusedResult, error) {
+	o := r.o
+	arb, err := newArbiter(o.Arbitration)
+	if err != nil {
+		return FusedResult{}, err
+	}
+	mc, err := memory.NewController(r.eng, o.Memory, arb)
+	if err != nil {
+		return FusedResult{}, err
+	}
+	r.mem = mc
+	if o.Observer != nil {
+		mc.SetObserver(o.Observer)
+	}
+	link, err := interconnect.NewLink(r.eng, o.Link)
+	if err != nil {
+		return FusedResult{}, err
+	}
+	r.link = link
+
+	r.tileBytes = o.Grid.WFTileBytes()
+	r.shardTiles = o.Grid.NumWFs()
+	n := o.Devices
+
+	trk, err := NewTracker(o.Tracker)
+	if err != nil {
+		return FusedResult{}, err
+	}
+	r.trk = trk
+	r.dma = NewDMATable()
+	// Hops 1..n-2 forward onward; hop n-1 is final. All stores are writes
+	// with one expected update per element (§7.1).
+	for h := 1; h < n-1; h++ {
+		for t := 0; t < r.shardTiles; t++ {
+			id := r.tileID(t, h)
+			if err := r.dma.Program(id, DMACommand{
+				DestDevice: 1, Op: memory.Write, Bytes: r.tileBytes,
+			}); err != nil {
+				return FusedResult{}, err
+			}
+		}
+	}
+	if err := trk.SetProgram(Program{
+		WFTileBytes:       r.tileBytes,
+		UpdatesPerElement: 1,
+		OnReady:           r.onReady,
+	}); err != nil {
+		return FusedResult{}, err
+	}
+
+	// Completion: every hop's arrivals staged — (n-1) shards of T tiles.
+	r.done = sim.NewFence((n-1)*r.shardTiles, func() {
+		r.result.CollectiveDone = r.eng.Now()
+		r.mem.WhenIdle(memory.StreamComm, func() { r.result.Done = r.eng.Now() })
+	})
+
+	kernel := &gpu.GEMMKernel{
+		Eng:               r.eng,
+		Mem:               mc,
+		GPU:               o.GPU,
+		Grid:              o.Grid,
+		CUs:               o.GEMMCUs,
+		OutputBypassesLLC: true,
+		Monitor:           o.Arbitration == ArbMCA,
+		WriteStage:        r.writeStage,
+		DoubleBuffered:    o.DoubleBufferedGEMM,
+	}
+	if err := kernel.Start(func() { r.result.GEMMDone = r.eng.Now() }); err != nil {
+		return FusedResult{}, err
+	}
+	r.eng.Run()
+	if r.err != nil {
+		return FusedResult{}, r.err
+	}
+	if !r.done.Fired() {
+		return FusedResult{}, fmt.Errorf("t3core: fused all-gather stalled: %d arrivals outstanding", r.done.Remaining())
+	}
+	r.result.DRAM = *mc.Counters()
+	r.result.LinkBytes = link.SentBytes()
+	r.result.TrackerMaxLive = trk.MaxLive()
+	r.result.DMATriggered = r.dma.Triggered()
+	if mca, ok := arb.(*memory.MCA); ok {
+		r.result.MCAThreshold = mca.Threshold()
+	}
+	r.result.StageReads = kernel.StageReads()
+	return r.result, nil
+}
+
+func (r *agRun) tileID(t, hop int) TileID {
+	g := hop*r.shardTiles + t
+	return TileID{WG: g / 8, WF: g % 8}
+}
+
+// writeStage routes the producer's shard tiles: store locally (the shard is
+// part of the device's own gathered output) and remote-write to the next
+// device. The mirrored delivery is the previous neighbor's shard arriving
+// as hop 1.
+func (r *agRun) writeStage(_, wgs int, _ units.Bytes, onDone sim.Handler) {
+	til := r.o.Grid.Tiling
+	w0 := r.wgCursor
+	r.wgCursor += wgs
+	var tiles []int
+	for w := w0; w < w0+wgs; w++ {
+		for wf := 0; wf < til.WFPerWG; wf++ {
+			if t := w*til.WFPerWG + wf; t < r.shardTiles {
+				tiles = append(tiles, t)
+			}
+		}
+	}
+	fence := sim.NewFence(len(tiles), onDone)
+	for _, t := range tiles {
+		tile := t
+		r.mem.Transfer(memory.Write, memory.StreamCompute, r.tileBytes,
+			memory.Tag{WG: tile / 8, WF: tile % 8}, fence.Done)
+		r.link.Send(r.tileBytes, func() { r.arrive(tile, 1) })
+	}
+}
+
+// arrive stages one hop's arriving tile and lets the tracker trigger the
+// forward.
+func (r *agRun) arrive(t, hop int) {
+	id := r.tileID(t, hop)
+	r.mem.Transfer(memory.Write, memory.StreamComm, r.tileBytes,
+		memory.Tag{WG: id.WG, WF: id.WF}, func() {
+			if err := r.trk.Observe(id, r.tileBytes); err != nil && r.err == nil {
+				r.err = err
+			}
+			r.done.Done()
+		})
+}
+
+// onReady forwards a staged tile to the next device (hops 1..n-2); the
+// mirrored delivery is the same tile arriving here as hop+1.
+func (r *agRun) onReady(id TileID) {
+	cmd, ok := r.dma.MarkReady(id)
+	if !ok {
+		return // final hop: nothing to forward
+	}
+	g := id.WG*8 + id.WF
+	hop := g / r.shardTiles
+	t := g % r.shardTiles
+	r.mem.Transfer(memory.Read, memory.StreamComm, cmd.Bytes,
+		memory.Tag{WG: id.WG, WF: id.WF}, func() {
+			r.link.Send(cmd.Bytes, func() { r.arrive(t, hop+1) })
+		})
+}
+
+// a2aRun is the fused all-to-all mirror run: chunk j of the output goes to
+// device j; no reductions, no forwarding.
+type a2aRun struct {
+	o    FusedOptions
+	eng  *sim.Engine
+	mem  *memory.Controller
+	link *interconnect.Link
+
+	tileBytes  units.Bytes
+	totalTiles int
+	phaseStart []int
+	wgCursor   int
+
+	done   *sim.Fence
+	result FusedResult
+}
+
+func (r *a2aRun) run() (FusedResult, error) {
+	o := r.o
+	arb, err := newArbiter(o.Arbitration)
+	if err != nil {
+		return FusedResult{}, err
+	}
+	mc, err := memory.NewController(r.eng, o.Memory, arb)
+	if err != nil {
+		return FusedResult{}, err
+	}
+	r.mem = mc
+	if o.Observer != nil {
+		mc.SetObserver(o.Observer)
+	}
+	link, err := interconnect.NewLink(r.eng, o.Link)
+	if err != nil {
+		return FusedResult{}, err
+	}
+	r.link = link
+
+	r.tileBytes = o.Grid.WFTileBytes()
+	r.totalTiles = o.Grid.NumWFs()
+	n := o.Devices
+	r.phaseStart = make([]int, n+1)
+	for p := 0; p <= n; p++ {
+		r.phaseStart[p] = p * r.totalTiles / n
+	}
+	// Completion: the owned chunk stored + every peer's chunk received.
+	owned := r.phaseStart[n] - r.phaseStart[n-1]
+	incoming := r.totalTiles - owned
+	r.done = sim.NewFence(owned+incoming, func() {
+		r.result.CollectiveDone = r.eng.Now()
+		r.mem.WhenIdle(memory.StreamComm, func() { r.result.Done = r.eng.Now() })
+	})
+
+	kernel := &gpu.GEMMKernel{
+		Eng:               r.eng,
+		Mem:               mc,
+		GPU:               o.GPU,
+		Grid:              o.Grid,
+		CUs:               o.GEMMCUs,
+		OutputBypassesLLC: true,
+		Monitor:           o.Arbitration == ArbMCA,
+		WriteStage:        r.writeStage,
+		DoubleBuffered:    o.DoubleBufferedGEMM,
+	}
+	if err := kernel.Start(func() { r.result.GEMMDone = r.eng.Now() }); err != nil {
+		return FusedResult{}, err
+	}
+	r.eng.Run()
+	if !r.done.Fired() {
+		return FusedResult{}, fmt.Errorf("t3core: fused all-to-all stalled: %d outstanding", r.done.Remaining())
+	}
+	r.result.DRAM = *mc.Counters()
+	r.result.LinkBytes = link.SentBytes()
+	if mca, ok := arb.(*memory.MCA); ok {
+		r.result.MCAThreshold = mca.Threshold()
+	}
+	r.result.StageReads = kernel.StageReads()
+	return r.result, nil
+}
+
+// writeStage routes each tile: the last chunk (production order) stays
+// local ("the owned chunk is produced last", mirroring the RS staggering);
+// every other chunk's tiles are remote-written to their owner, and the
+// mirrored delivery is a peer's tile for my chunk arriving.
+func (r *a2aRun) writeStage(_, wgs int, _ units.Bytes, onDone sim.Handler) {
+	til := r.o.Grid.Tiling
+	n := r.o.Devices
+	w0 := r.wgCursor
+	r.wgCursor += wgs
+	var tiles []int
+	for w := w0; w < w0+wgs; w++ {
+		for wf := 0; wf < til.WFPerWG; wf++ {
+			if t := w*til.WFPerWG + wf; t < r.totalTiles {
+				tiles = append(tiles, t)
+			}
+		}
+	}
+	local := 0
+	for _, t := range tiles {
+		if t >= r.phaseStart[n-1] {
+			local++
+		}
+	}
+	fence := sim.NewFence(local, onDone)
+	for _, t := range tiles {
+		if t >= r.phaseStart[n-1] {
+			// Owned chunk: plain local store.
+			tile := t
+			r.mem.Transfer(memory.Write, memory.StreamCompute, r.tileBytes,
+				memory.Tag{WG: tile / 8, WF: tile % 8}, func() {
+					fence.Done()
+					r.done.Done()
+				})
+			continue
+		}
+		// Remote-mapped: not written locally at all (§7.1). The mirror is a
+		// peer's tile for my inbound region arriving as a comm-stream write.
+		tile := t
+		r.link.Send(r.tileBytes, func() {
+			r.mem.Transfer(memory.Write, memory.StreamComm, r.tileBytes,
+				memory.Tag{WG: tile / 8, WF: tile % 8}, func() { r.done.Done() })
+		})
+	}
+}

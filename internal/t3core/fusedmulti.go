@@ -1,0 +1,331 @@
+package t3core
+
+import (
+	"fmt"
+
+	"t3sim/internal/collective"
+	"t3sim/internal/gpu"
+	"t3sim/internal/interconnect"
+	"t3sim/internal/memory"
+	"t3sim/internal/sim"
+	"t3sim/internal/units"
+)
+
+// MultiDeviceResult reports an explicit N-device fused run. It exists to
+// validate the single-GPU mirror methodology (§5.1.1): under homogeneous
+// execution every device should complete at (nearly) the same time, and
+// that time should match the mirror run.
+type MultiDeviceResult struct {
+	// GEMMDone / CollectiveDone per device.
+	GEMMDone       []units.Time
+	CollectiveDone []units.Time
+	// Done is the latest device completion plus communication drain.
+	Done units.Time
+	// DRAM aggregates all devices' traffic.
+	DRAM memory.Counters
+	// PerDeviceDRAM is each device's own traffic.
+	PerDeviceDRAM []memory.Counters
+	// LinkBytes sums all forward-ring traffic.
+	LinkBytes units.Bytes
+	// TrackerMaxLive is the largest per-device high-water mark.
+	TrackerMaxLive int
+}
+
+// Skew returns the spread between the earliest and latest device
+// completion — a direct check of the homogeneity assumption.
+func (r *MultiDeviceResult) Skew() units.Time {
+	if len(r.CollectiveDone) == 0 {
+		return 0
+	}
+	lo, hi := r.CollectiveDone[0], r.CollectiveDone[0]
+	for _, t := range r.CollectiveDone[1:] {
+		if t < lo {
+			lo = t
+		}
+		if t > hi {
+			hi = t
+		}
+	}
+	return hi - lo
+}
+
+// multiDevice is one device's state in the explicit run.
+type multiDevice struct {
+	id   int
+	run  *multiRun
+	mem  *memory.Controller
+	trk  *Tracker
+	dma  *DMATable
+	amap AddressMap
+
+	phaseOfChunk []int
+	wgCursor     int
+	ownedFence   *sim.Fence
+
+	gemmDone       units.Time
+	collectiveDone units.Time
+}
+
+// multiRun owns the shared state of the explicit N-device simulation.
+type multiRun struct {
+	o    FusedOptions
+	eng  *sim.Engine
+	ring *interconnect.Ring
+	devs []*multiDevice
+
+	tileBytes  units.Bytes
+	totalTiles int
+	chunkStart []int // address-space tile index where each chunk begins
+
+	allDone *sim.Fence
+	result  MultiDeviceResult
+	err     error
+}
+
+// RunFusedGEMMRSMultiDevice executes the fused GEMM→ring-reduce-scatter
+// with every device simulated explicitly: per-device memory systems,
+// trackers and DMA tables, staggered production orders (§4.4), and real
+// cross-device deliveries over the ring — no mirroring.
+func RunFusedGEMMRSMultiDevice(o FusedOptions) (MultiDeviceResult, error) {
+	if o.Collective != RingReduceScatter {
+		return MultiDeviceResult{}, fmt.Errorf("t3core: multi-device run supports ring reduce-scatter, got %v", o.Collective)
+	}
+	if err := validateFusedCommon(o); err != nil {
+		return MultiDeviceResult{}, err
+	}
+	if o.Grid.Tiling.SplitK != 1 {
+		return MultiDeviceResult{}, fmt.Errorf("t3core: multi-device run supports SplitK=1 only")
+	}
+	r := &multiRun{o: o, eng: sim.NewEngine()}
+	n := o.Devices
+	r.tileBytes = o.Grid.WFTileBytes()
+	r.totalTiles = o.Grid.NumWFs()
+	bounds := collective.ChunkBounds(r.totalTiles, n)
+	r.chunkStart = make([]int, n+1)
+	for c := 0; c < n; c++ {
+		r.chunkStart[c] = bounds[c][0]
+	}
+	r.chunkStart[n] = r.totalTiles
+
+	ring, err := interconnect.NewRing(r.eng, n, o.Link)
+	if err != nil {
+		return MultiDeviceResult{}, err
+	}
+	r.ring = ring
+
+	r.allDone = sim.NewFence(n, nil)
+	r.devs = make([]*multiDevice, n)
+	for d := 0; d < n; d++ {
+		md, err := r.newDevice(d)
+		if err != nil {
+			return MultiDeviceResult{}, err
+		}
+		r.devs[d] = md
+	}
+	// Launch every device's GEMM at t=0 (§4.4: staggering is in the WG→tile
+	// mapping, not the launch time).
+	for d := 0; d < n; d++ {
+		md := r.devs[d]
+		kernel := &gpu.GEMMKernel{
+			Eng:               r.eng,
+			Mem:               md.mem,
+			GPU:               o.GPU,
+			Grid:              o.Grid,
+			CUs:               o.GEMMCUs,
+			OutputBypassesLLC: true,
+			Monitor:           o.Arbitration == ArbMCA,
+			WriteStage:        md.writeStage,
+			DoubleBuffered:    o.DoubleBufferedGEMM,
+		}
+		if err := kernel.Start(func() { md.gemmDone = r.eng.Now() }); err != nil {
+			return MultiDeviceResult{}, err
+		}
+	}
+	r.eng.Run()
+	if r.err != nil {
+		return MultiDeviceResult{}, r.err
+	}
+	if !r.allDone.Fired() {
+		return MultiDeviceResult{}, fmt.Errorf("t3core: multi-device run stalled: %d devices incomplete",
+			r.allDone.Remaining())
+	}
+	res := &r.result
+	for d := 0; d < n; d++ {
+		md := r.devs[d]
+		res.GEMMDone = append(res.GEMMDone, md.gemmDone)
+		res.CollectiveDone = append(res.CollectiveDone, md.collectiveDone)
+		cnt := md.mem.Counters()
+		res.PerDeviceDRAM = append(res.PerDeviceDRAM, *cnt)
+		for k := 0; k < 3; k++ {
+			for s := 0; s < 2; s++ {
+				res.DRAM.Bytes[k][s] += cnt.Bytes[k][s]
+				res.DRAM.Requests[k][s] += cnt.Requests[k][s]
+			}
+		}
+		res.LinkBytes += ring.ForwardLink(d).SentBytes()
+		if ml := md.trk.MaxLive(); ml > res.TrackerMaxLive {
+			res.TrackerMaxLive = ml
+		}
+		if md.collectiveDone > res.Done {
+			res.Done = md.collectiveDone
+		}
+	}
+	return *res, nil
+}
+
+func (r *multiRun) newDevice(d int) (*multiDevice, error) {
+	o := r.o
+	arb, err := newArbiter(o.Arbitration)
+	if err != nil {
+		return nil, err
+	}
+	mc, err := memory.NewController(r.eng, o.Memory, arb)
+	if err != nil {
+		return nil, err
+	}
+	md := &multiDevice{id: d, run: r, mem: mc, amap: RingReduceScatterMap(d, o.Devices)}
+	if err := md.amap.Validate(); err != nil {
+		return nil, err
+	}
+	md.phaseOfChunk = make([]int, o.Devices)
+	for _, pm := range md.amap.Phases {
+		md.phaseOfChunk[pm.Chunk] = pm.Phase
+	}
+	trk, err := NewTracker(o.Tracker)
+	if err != nil {
+		return nil, err
+	}
+	md.trk = trk
+	md.dma = NewDMATable()
+	// Program DMA commands for dma_mapped phases.
+	next := (d + 1) % o.Devices
+	for _, pm := range md.amap.Phases {
+		if pm.Treatment != TreatDMA {
+			continue
+		}
+		c := pm.Chunk
+		for t := r.chunkStart[c]; t < r.chunkStart[c+1]; t++ {
+			if err := md.dma.Program(tileIDFor(t), DMACommand{
+				DestDevice: next, Op: memory.Update, Bytes: r.tileBytes,
+			}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := trk.SetProgram(Program{
+		WFTileBytes:       r.tileBytes,
+		UpdatesPerElement: 2,
+		OnReady:           md.onReady,
+	}); err != nil {
+		return nil, err
+	}
+	ownedChunk := md.amap.Phases[o.Devices-1].Chunk
+	ownedTiles := r.chunkStart[ownedChunk+1] - r.chunkStart[ownedChunk]
+	md.ownedFence = sim.NewFence(ownedTiles, func() {
+		md.collectiveDone = r.eng.Now()
+		r.allDone.Done()
+	})
+	return md, nil
+}
+
+// tileIDFor maps an address-space tile index to its tracker identity. Tile
+// identities are addresses, shared by all devices: the §4.2.2 DMA metadata
+// translation (source wg/wf → destination wg/wf) is the identity map here
+// because our model indexes tiles by output position on every device.
+func tileIDFor(t int) TileID { return TileID{WG: t / 8, WF: t % 8} }
+
+// prodTile converts a device's production-order index into the address-space
+// tile it writes: phase p covers the chunk the address map assigns it.
+func (md *multiDevice) prodTile(g int) (tile int, pm PhaseMap, ok bool) {
+	r := md.run
+	off := g
+	for _, pm := range md.amap.Phases {
+		c := pm.Chunk
+		sz := r.chunkStart[c+1] - r.chunkStart[c]
+		if off < sz {
+			return r.chunkStart[c] + off, pm, true
+		}
+		off -= sz
+	}
+	return 0, PhaseMap{}, false
+}
+
+// writeStage routes one stage's production per the device's address map.
+func (md *multiDevice) writeStage(_, wgs int, _ units.Bytes, onDone sim.Handler) {
+	r := md.run
+	til := r.o.Grid.Tiling
+	g0 := md.wgCursor * til.WFPerWG
+	md.wgCursor += wgs
+	count := wgs * til.WFPerWG
+
+	type job struct {
+		tile int
+		pm   PhaseMap
+	}
+	var jobs []job
+	for i := 0; i < count; i++ {
+		tile, pm, ok := md.prodTile(g0 + i)
+		if !ok {
+			continue
+		}
+		jobs = append(jobs, job{tile, pm})
+	}
+	local := 0
+	for _, j := range jobs {
+		if j.pm.Treatment != TreatRemote {
+			local++
+		}
+	}
+	fence := sim.NewFence(local, onDone)
+	for _, j := range jobs {
+		tile := j.tile
+		switch j.pm.Treatment {
+		case TreatRemote:
+			// Peer store: straight over the forward link into the next
+			// device's memory as an NMC update.
+			dest := r.devs[j.pm.Dest]
+			r.ring.ForwardLink(md.id).Send(r.tileBytes, func() {
+				dest.stageIncoming(tile)
+			})
+		default:
+			md.mem.Transfer(memory.Update, memory.StreamCompute, r.tileBytes,
+				memory.Tag{WG: tile / 8, WF: tile % 8}, func() {
+					md.observe(tile)
+					fence.Done()
+				})
+		}
+	}
+}
+
+// stageIncoming applies an arriving update (peer store or DMA) to local
+// memory and lets the tracker count it.
+func (md *multiDevice) stageIncoming(tile int) {
+	r := md.run
+	md.mem.Transfer(memory.Update, memory.StreamComm, r.tileBytes,
+		memory.Tag{WG: tile / 8, WF: tile % 8}, func() { md.observe(tile) })
+}
+
+func (md *multiDevice) observe(tile int) {
+	if err := md.trk.Observe(tileIDFor(tile), md.run.tileBytes); err != nil && md.run.err == nil {
+		md.run.err = err
+	}
+}
+
+// onReady fires when a tile's local and incoming updates complete: forward
+// dma_mapped tiles, count owned ones.
+func (md *multiDevice) onReady(id TileID) {
+	r := md.run
+	cmd, ok := md.dma.MarkReady(id)
+	if !ok {
+		md.ownedFence.Done()
+		return
+	}
+	tile := id.WG*8 + id.WF
+	dest := r.devs[cmd.DestDevice]
+	md.mem.Transfer(memory.Read, memory.StreamComm, cmd.Bytes,
+		memory.Tag{WG: id.WG, WF: id.WF}, func() {
+			r.ring.ForwardLink(md.id).Send(cmd.Bytes, func() {
+				dest.stageIncoming(tile)
+			})
+		})
+}

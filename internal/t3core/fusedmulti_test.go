@@ -1,0 +1,119 @@
+package t3core
+
+import (
+	"testing"
+
+	"t3sim/internal/memory"
+	"t3sim/internal/units"
+)
+
+func TestMultiDeviceCompletes(t *testing.T) {
+	o := fusedOpts(t, 4)
+	res, err := RunFusedGEMMRSMultiDevice(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.GEMMDone) != 4 || len(res.CollectiveDone) != 4 {
+		t.Fatalf("per-device slices: %+v", res)
+	}
+	for d := 0; d < 4; d++ {
+		if res.GEMMDone[d] <= 0 || res.CollectiveDone[d] < res.GEMMDone[d] {
+			t.Errorf("device %d: gemm=%v coll=%v", d, res.GEMMDone[d], res.CollectiveDone[d])
+		}
+	}
+}
+
+func TestMultiDeviceHomogeneity(t *testing.T) {
+	// The §5.1.1 mirror methodology assumes all devices behave identically;
+	// the explicit simulation must bear that out: completion skew across
+	// devices should be negligible relative to the run length.
+	res, err := RunFusedGEMMRSMultiDevice(fusedOpts(t, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	skew := res.Skew()
+	if float64(skew) > 0.01*float64(res.Done) {
+		t.Errorf("completion skew %v is %.2f%% of run %v, want < 1%%",
+			skew, 100*float64(skew)/float64(res.Done), res.Done)
+	}
+	for d := 1; d < 4; d++ {
+		if res.GEMMDone[d] != res.GEMMDone[0] {
+			t.Errorf("GEMM completion differs across devices: %v", res.GEMMDone)
+			break
+		}
+	}
+}
+
+func TestMultiDeviceMatchesMirror(t *testing.T) {
+	// The headline validation: the explicit N-device simulation and the
+	// single-GPU mirror run must agree closely on completion time.
+	for _, n := range []int{2, 4, 8} {
+		o := fusedOpts(t, n)
+		mirror, err := RunFusedGEMMRS(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		multi, err := RunFusedGEMMRSMultiDevice(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel := (float64(multi.Done) - float64(mirror.CollectiveDone)) / float64(multi.Done)
+		if rel < -0.05 || rel > 0.05 {
+			t.Errorf("n=%d: multi %v vs mirror %v (%.2f%%)", n, multi.Done, mirror.CollectiveDone, 100*rel)
+		}
+	}
+}
+
+func TestMultiDeviceTrafficMatchesMirror(t *testing.T) {
+	// Per-device traffic must match the mirror's accounting exactly when
+	// chunks divide evenly.
+	o := fusedOpts(t, 4)
+	mirror, err := RunFusedGEMMRS(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := RunFusedGEMMRSMultiDevice(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d, cnt := range multi.PerDeviceDRAM {
+		for _, k := range []memory.AccessKind{memory.Read, memory.Write, memory.Update} {
+			for _, s := range []memory.Stream{memory.StreamCompute, memory.StreamComm} {
+				if cnt.Bytes[k][s] != mirror.DRAM.Bytes[k][s] {
+					t.Errorf("device %d %v/%v = %v, mirror %v",
+						d, k, s, cnt.Bytes[k][s], mirror.DRAM.Bytes[k][s])
+				}
+			}
+		}
+	}
+	// Total link traffic: n devices, each pushing (n-1)/n of the output.
+	if multi.LinkBytes != mirror.LinkBytes*units.Bytes(o.Devices) {
+		t.Errorf("link bytes = %v, want %v", multi.LinkBytes, mirror.LinkBytes*4)
+	}
+}
+
+func TestMultiDeviceUnevenChunks(t *testing.T) {
+	// 3 devices over a tile count not divisible by 3 still completes, with
+	// every tile fired exactly once.
+	o := fusedOpts(t, 3)
+	res, err := RunFusedGEMMRSMultiDevice(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Done <= 0 {
+		t.Error("no completion")
+	}
+}
+
+func TestMultiDeviceValidation(t *testing.T) {
+	o := fusedOpts(t, 4)
+	o.Collective = DirectReduceScatter
+	if _, err := RunFusedGEMMRSMultiDevice(o); err == nil {
+		t.Error("direct-RS multi: expected error")
+	}
+	o = fusedOpts(t, 4)
+	o.Grid.Tiling.SplitK = 2
+	if _, err := RunFusedGEMMRSMultiDevice(o); err == nil {
+		t.Error("split-K multi: expected error")
+	}
+}

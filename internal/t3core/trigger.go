@@ -1,0 +1,67 @@
+package t3core
+
+import (
+	"fmt"
+
+	"t3sim/internal/memory"
+	"t3sim/internal/units"
+)
+
+// DMACommand is one pre-programmed transfer in the §4.2.2 command table:
+// when the tracker marks its region ready, the DMA engine reads the data
+// locally and performs Op at the destination device. The engine generates
+// the member addresses itself from the region's start address and geometry;
+// the model carries only the byte count.
+type DMACommand struct {
+	DestDevice int
+	Op         memory.AccessKind
+	Bytes      units.Bytes
+}
+
+// DMATable is the pre-programmed command table the driver fills during the
+// §4.4 setup. Commands are keyed by the producing tile, the same identity
+// the tracker fires with; marking an entry ready consumes it, so each tile
+// DMAs exactly once.
+type DMATable struct {
+	commands map[TileID]DMACommand
+	ready    int64
+}
+
+// NewDMATable returns an empty table.
+func NewDMATable() *DMATable {
+	return &DMATable{commands: make(map[TileID]DMACommand)}
+}
+
+// Program installs the command for a tile. Reprogramming a live entry is an
+// error: the setup writes each entry once per launch.
+func (t *DMATable) Program(id TileID, cmd DMACommand) error {
+	if cmd.Bytes <= 0 {
+		return fmt.Errorf("t3core: DMA command with %v bytes", cmd.Bytes)
+	}
+	if cmd.Op != memory.Write && cmd.Op != memory.Update {
+		return fmt.Errorf("t3core: DMA command op %v", cmd.Op)
+	}
+	if _, dup := t.commands[id]; dup {
+		return fmt.Errorf("t3core: duplicate DMA command for %+v", id)
+	}
+	t.commands[id] = cmd
+	return nil
+}
+
+// MarkReady consumes and returns the command for a tile. The second result
+// is false when no command is programmed (the tile is not dma_mapped).
+func (t *DMATable) MarkReady(id TileID) (DMACommand, bool) {
+	cmd, ok := t.commands[id]
+	if !ok {
+		return DMACommand{}, false
+	}
+	delete(t.commands, id)
+	t.ready++
+	return cmd, true
+}
+
+// Pending returns the number of programmed, not-yet-triggered commands.
+func (t *DMATable) Pending() int { return len(t.commands) }
+
+// Triggered returns how many commands have been consumed.
+func (t *DMATable) Triggered() int64 { return t.ready }

@@ -1,0 +1,91 @@
+// Package trace captures DRAM traffic timelines from the memory controller,
+// backing the paper's Figure 17 (per-interval read/write/update bytes for
+// the baseline GEMM versus the fused T3 run).
+package trace
+
+import (
+	"fmt"
+
+	"t3sim/internal/memory"
+	"t3sim/internal/units"
+)
+
+// Sample is one time bucket of DRAM traffic, split the way Figure 17 plots
+// it: producer (compute-stream) reads and writes versus communication
+// (comm-stream) reads and updates.
+type Sample struct {
+	Start units.Time
+	// ComputeRead/ComputeWrite are the producer kernel's bytes (GEMM reads,
+	// GEMM writes or NMC updates).
+	ComputeRead  units.Bytes
+	ComputeWrite units.Bytes
+	// CommRead is collective/DMA read traffic; CommWrite is incoming
+	// staging/update traffic.
+	CommRead  units.Bytes
+	CommWrite units.Bytes
+}
+
+// Total returns all bytes in the bucket.
+func (s Sample) Total() units.Bytes {
+	return s.ComputeRead + s.ComputeWrite + s.CommRead + s.CommWrite
+}
+
+// Trace aggregates issued memory requests into fixed-width buckets. It
+// implements memory.Observer.
+type Trace struct {
+	bucket  units.Time
+	samples []Sample
+}
+
+// New returns a trace with the given bucket width.
+func New(bucket units.Time) (*Trace, error) {
+	if bucket <= 0 {
+		return nil, fmt.Errorf("trace: bucket = %v", bucket)
+	}
+	return &Trace{bucket: bucket}, nil
+}
+
+// OnIssue implements memory.Observer.
+func (t *Trace) OnIssue(now units.Time, r *memory.Request) {
+	idx := int(now / t.bucket)
+	for len(t.samples) <= idx {
+		t.samples = append(t.samples, Sample{Start: units.Time(len(t.samples)) * t.bucket})
+	}
+	s := &t.samples[idx]
+	switch {
+	case r.Stream == memory.StreamCompute && r.Kind == memory.Read:
+		s.ComputeRead += r.Bytes
+	case r.Stream == memory.StreamCompute:
+		s.ComputeWrite += r.Bytes
+	case r.Kind == memory.Read:
+		s.CommRead += r.Bytes
+	default:
+		s.CommWrite += r.Bytes
+	}
+}
+
+// Samples returns the bucketed timeline.
+func (t *Trace) Samples() []Sample { return t.samples }
+
+// Bucket returns the bucket width.
+func (t *Trace) Bucket() units.Time { return t.bucket }
+
+// TotalBytes sums the whole trace.
+func (t *Trace) TotalBytes() units.Bytes {
+	var total units.Bytes
+	for _, s := range t.samples {
+		total += s.Total()
+	}
+	return total
+}
+
+// PeakBucket returns the sample with the most traffic (zero value if empty).
+func (t *Trace) PeakBucket() Sample {
+	var peak Sample
+	for _, s := range t.samples {
+		if s.Total() > peak.Total() {
+			peak = s
+		}
+	}
+	return peak
+}

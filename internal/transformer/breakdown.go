@@ -1,0 +1,312 @@
+package transformer
+
+import (
+	"fmt"
+
+	"t3sim/internal/collective"
+	"t3sim/internal/gemm"
+	"t3sim/internal/gpu"
+	"t3sim/internal/interconnect"
+	"t3sim/internal/units"
+)
+
+// Phase selects the execution mode for iteration breakdowns.
+type Phase int
+
+// Phases.
+const (
+	// Training is one mixed-precision training iteration (forward +
+	// backprop).
+	Training Phase = iota
+	// PromptInference is the prompt-processing phase of inference (forward
+	// only), the communication-heavy inference phase the paper evaluates.
+	PromptInference
+	// TokenGeneration is the auto-regressive decode phase (§7.3): one token
+	// per sequence per step, GEMV-shaped weight-streaming operators and
+	// small, latency-bound all-reduces.
+	TokenGeneration
+)
+
+// String implements fmt.Stringer.
+func (p Phase) String() string {
+	switch p {
+	case Training:
+		return "training"
+	case PromptInference:
+		return "prompt-inference"
+	case TokenGeneration:
+		return "token-generation"
+	default:
+		return fmt.Sprintf("Phase(%d)", int(p))
+	}
+}
+
+// HW bundles the hardware parameters the analytical operator model needs.
+type HW struct {
+	GPU  gpu.Config
+	Link interconnect.Config
+	// MemBandwidth is the HBM aggregate rate for memory-bound operators.
+	MemBandwidth units.Bandwidth
+	// CollectiveCUs and PerCUMemBandwidth parameterize standalone collective
+	// kernels (they get the whole GPU in the sequential baseline).
+	CollectiveCUs     int
+	PerCUMemBandwidth units.Bandwidth
+}
+
+// DefaultHW mirrors Table 1.
+func DefaultHW() HW {
+	return HW{
+		GPU:               gpu.DefaultConfig(),
+		Link:              interconnect.DefaultConfig(),
+		MemBandwidth:      1 * units.TBps,
+		CollectiveCUs:     80,
+		PerCUMemBandwidth: 16 * units.GBps,
+	}
+}
+
+// gemmTime estimates one GEMM's isolated duration: the max of its MAC time
+// at the launch's efficiency and its DRAM streaming floor.
+func (hw HW) gemmTime(s gemm.Shape) (units.Time, error) {
+	g, err := gemm.NewGrid(s, gemm.DefaultTiling())
+	if err != nil {
+		return 0, err
+	}
+	eff := gemm.Efficiency(g)
+	compute := units.FromSeconds(float64(s.FLOPs()) / (hw.GPU.PeakFlops() * eff))
+	mem := hw.MemBandwidth.TransferTime(s.InputBytes() + s.OutputBytes())
+	if mem > compute {
+		return mem, nil
+	}
+	return compute, nil
+}
+
+// elementwiseTime estimates a memory-bound elementwise pass over n bytes.
+func (hw HW) elementwiseTime(n units.Bytes) units.Time {
+	return hw.MemBandwidth.TransferTime(n)
+}
+
+// collectiveOpts builds the analytic collective options for a given size.
+func (hw HW) collectiveOpts(bytes units.Bytes, tp int) collective.AnalyticOptions {
+	return collective.AnalyticOptions{
+		Devices:           tp,
+		TotalBytes:        bytes,
+		Link:              hw.Link,
+		MemBandwidth:      hw.MemBandwidth,
+		CUs:               hw.CollectiveCUs,
+		PerCUMemBandwidth: hw.PerCUMemBandwidth,
+	}
+}
+
+// SubTimes is the baseline timing of one GEMM→AR sub-layer: the producer
+// GEMM, the reduce-scatter, and the all-gather.
+type SubTimes struct {
+	GEMM units.Time
+	RS   units.Time
+	AG   units.Time
+}
+
+// Total returns the serialized sub-layer time.
+func (s SubTimes) Total() units.Time { return s.GEMM + s.RS + s.AG }
+
+// IterationModel is the analytical breakdown of one iteration, per layer.
+// It backs Figures 4 and 19: the sliced GEMM→AR sub-layers are listed
+// individually (they are what T3 accelerates); everything else — non-sliced
+// GEMMs, attention math, softmax/dropout, layernorms, residuals — is Other.
+type IterationModel struct {
+	Model Model
+	TP    int
+	Phase Phase
+	// Sub holds per-layer baseline times for each AR-feeding sub-layer
+	// active in this phase.
+	Sub map[SubLayerKind]SubTimes
+	// Other is the per-layer time of everything else.
+	Other units.Time
+}
+
+// ActiveSubLayers returns the AR-feeding sub-layers of a phase: all four in
+// training, the two forward ones for inference phases.
+func ActiveSubLayers(p Phase) []SubLayerKind {
+	if p == PromptInference || p == TokenGeneration {
+		return []SubLayerKind{OutProj, FC2}
+	}
+	return AllSubLayers
+}
+
+// PhaseTokens returns the token count one step of the phase processes: the
+// full prompt for training/prompt inference, one token per sequence for
+// auto-regressive generation.
+func PhaseTokens(p Phase, m Model) int {
+	if p == TokenGeneration {
+		return m.Batch
+	}
+	return m.Tokens()
+}
+
+// NewIterationModel builds the breakdown for a model/TP/phase on hw.
+func NewIterationModel(m Model, tp int, phase Phase, hw HW) (*IterationModel, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	it := &IterationModel{Model: m, TP: tp, Phase: phase, Sub: map[SubLayerKind]SubTimes{}}
+
+	// AR-feeding sub-layers.
+	for _, kind := range ActiveSubLayers(phase) {
+		sl, err := SubLayerGEMMTokens(m, kind, tp, PhaseTokens(phase, m))
+		if err != nil {
+			return nil, err
+		}
+		gt, err := hw.gemmTime(sl.Grid.Shape)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := collective.AnalyticRingReduceScatterTime(hw.collectiveOpts(sl.ARBytes, tp))
+		if err != nil {
+			return nil, err
+		}
+		ag, err := collective.AnalyticRingAllGatherTime(hw.collectiveOpts(sl.ARBytes, tp))
+		if err != nil {
+			return nil, err
+		}
+		it.Sub[kind] = SubTimes{GEMM: gt, RS: rs, AG: ag}
+	}
+
+	other, err := it.otherTime(hw)
+	if err != nil {
+		return nil, err
+	}
+	it.Other = other
+	return it, nil
+}
+
+// otherTime estimates the per-layer time outside the AR sub-layers.
+func (it *IterationModel) otherTime(hw HW) (units.Time, error) {
+	m, tp := it.Model, it.TP
+	tokens := PhaseTokens(it.Phase, m)
+	e := units.Bytes(2)
+
+	var total units.Time
+	add := func(t units.Time, err error) error {
+		if err != nil {
+			return err
+		}
+		total += t
+		return nil
+	}
+
+	// Forward non-AR GEMMs.
+	// QKV input projection (column-parallel: no AR).
+	if err := add(hw.gemmTime(gemm.Shape{M: tokens, N: 3 * m.Hidden / tp, K: m.Hidden, ElemBytes: 2, TransB: true})); err != nil {
+		return 0, err
+	}
+	// Attention score and context batched GEMMs (sliced across heads).
+	if err := add(hw.gemmTime(gemm.Shape{M: tokens, N: m.SeqLen, K: maxInt(m.Hidden/tp, 1), ElemBytes: 2})); err != nil {
+		return 0, err
+	}
+	if err := add(hw.gemmTime(gemm.Shape{M: tokens, N: maxInt(m.Hidden/tp, 1), K: m.SeqLen, ElemBytes: 2})); err != nil {
+		return 0, err
+	}
+	// FC-1 (column-parallel: no AR).
+	if err := add(hw.gemmTime(gemm.Shape{M: tokens, N: m.FFMult * m.Hidden / tp, K: m.Hidden, ElemBytes: 2, TransB: true})); err != nil {
+		return 0, err
+	}
+
+	// Elementwise forward work (no FlashAttention in the paper's MLPerf
+	// baseline, §6.3): softmax+mask+dropout over the attention matrix, GeLU
+	// over FC-1's output, two residual+layernorm passes over activations.
+	heads := maxInt(m.Hidden/64/tp, 1)
+	// Attention-matrix footprint: rows-per-sequence × SeqLen per head. For
+	// training/prompt, rows = SeqLen (so Batch·heads·SeqLen²); for token
+	// generation, one row per sequence against the KV cache.
+	attnBytes := units.Bytes(int64(heads)*int64(tokens)*int64(m.SeqLen)) * e
+	total += hw.elementwiseTime(6 * attnBytes)
+	geluBytes := units.Bytes(int64(tokens)*int64(m.FFMult*m.Hidden/tp)) * e
+	total += hw.elementwiseTime(2 * geluBytes)
+	actBytes := units.Bytes(int64(tokens)*int64(m.Hidden)) * e
+	total += hw.elementwiseTime(8 * actBytes)
+
+	if it.Phase != Training {
+		return total, nil
+	}
+
+	// Backprop: weight-gradient GEMMs for all four projections plus
+	// input-gradient GEMMs for the non-AR ones, approximated as 2x the
+	// forward GEMM work (dX and dW per GEMM), and elementwise gradients
+	// roughly mirroring the forward passes.
+	total *= 2
+	// The AR sub-layers' weight-gradient GEMMs (dW) are not AR producers and
+	// belong to Other as well: one dW per OP/FC-2 ≈ their forward GEMM time.
+	for _, kind := range []SubLayerKind{OutProj, FC2} {
+		sl, err := SubLayerGEMMTokens(it.Model, kind, tp, tokens)
+		if err != nil {
+			return 0, err
+		}
+		t, err := hw.gemmTime(sl.Grid.Shape)
+		if err != nil {
+			return 0, err
+		}
+		total += t
+	}
+	return total, nil
+}
+
+// LayerTotal returns the per-layer baseline (sequential) time.
+func (it *IterationModel) LayerTotal() units.Time {
+	t := it.Other
+	for _, s := range it.Sub {
+		t += s.Total()
+	}
+	return t
+}
+
+// Total returns the full-iteration baseline time.
+func (it *IterationModel) Total() units.Time {
+	return it.LayerTotal() * units.Time(it.Model.Layers)
+}
+
+// CommFraction returns the fraction of iteration time spent in the sliced
+// GEMM→AR sub-layers' communication (RS+AG) — Figure 4's stacked series.
+func (it *IterationModel) CommFraction() float64 {
+	var comm units.Time
+	for _, s := range it.Sub {
+		comm += s.RS + s.AG
+	}
+	return float64(comm) / float64(it.LayerTotal())
+}
+
+// SlicedFraction returns the fraction of time in sliced GEMM→AR sub-layers
+// (GEMM + RS + AG), the full height of Figure 4's highlighted stack.
+func (it *IterationModel) SlicedFraction() float64 {
+	var s units.Time
+	for _, sub := range it.Sub {
+		s += sub.Total()
+	}
+	return float64(s) / float64(it.LayerTotal())
+}
+
+// WithSubLayerTimes returns the iteration time when each AR sub-layer's
+// GEMM+RS portion is replaced by the given fused time (AG stays serialized,
+// as in the paper's T3 configuration §5.3). Missing kinds keep baseline.
+func (it *IterationModel) WithSubLayerTimes(fused map[SubLayerKind]units.Time) units.Time {
+	layer := it.Other
+	for kind, s := range it.Sub {
+		if f, ok := fused[kind]; ok {
+			layer += f + s.AG
+		} else {
+			layer += s.Total()
+		}
+	}
+	return layer * units.Time(it.Model.Layers)
+}
+
+// Speedup returns baseline/new for this iteration model given fused
+// sub-layer times.
+func (it *IterationModel) Speedup(fused map[SubLayerKind]units.Time) float64 {
+	return float64(it.Total()) / float64(it.WithSubLayerTimes(fused))
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

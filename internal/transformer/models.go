@@ -1,0 +1,206 @@
+// Package transformer models the paper's workloads: the Table 2 model zoo,
+// the tensor-parallel sub-layer GEMMs that need an all-reduce (§2.4), and
+// the operator-level iteration breakdown behind Figures 4 and 19. The
+// breakdown follows the paper's own methodology (§5.1.2): operator times are
+// derived analytically from the hyperparameters and the hardware model
+// rather than measured on a testbed.
+package transformer
+
+import (
+	"fmt"
+
+	"t3sim/internal/gemm"
+	"t3sim/internal/units"
+)
+
+// Model is one Transformer configuration from Table 2.
+type Model struct {
+	Name string
+	// Hidden is the model dimension H.
+	Hidden int
+	// Layers is the encoder/decoder block count L.
+	Layers int
+	// SeqLen is the input sequence length.
+	SeqLen int
+	// Batch is the per-iteration batch size.
+	Batch int
+	// TPDegrees are the tensor-parallel slicings the paper evaluates.
+	TPDegrees []int
+	// FFMult is the feed-forward expansion (4 for all studied models).
+	FFMult int
+}
+
+// Tokens returns the token count per iteration (sequence length × batch).
+func (m Model) Tokens() int { return m.SeqLen * m.Batch }
+
+// Params returns the approximate parameter count: the standard
+// 12·L·H² Transformer estimate (attention 4H² + FFN 8H² per layer).
+func (m Model) Params() int64 {
+	h := int64(m.Hidden)
+	return 12 * int64(m.Layers) * h * h
+}
+
+// Validate reports whether the model is usable.
+func (m Model) Validate() error {
+	if m.Hidden <= 0 || m.Layers <= 0 || m.SeqLen <= 0 || m.Batch <= 0 {
+		return fmt.Errorf("transformer: non-positive dimension in %s", m.Name)
+	}
+	if m.FFMult <= 0 {
+		return fmt.Errorf("transformer: FFMult = %d in %s", m.FFMult, m.Name)
+	}
+	if len(m.TPDegrees) == 0 {
+		return fmt.Errorf("transformer: no TP degrees for %s", m.Name)
+	}
+	return nil
+}
+
+// Models is the Table 2 zoo. Hyperparameters and token counts follow the
+// paper: Mega-GPT-2 and T-NLG use 16K and 8K tokens with TP of 8 and 16;
+// the ~0.5T-parameter models use 2K tokens at TP 32.
+var Models = []Model{
+	{Name: "Mega-GPT-2", Hidden: 3072, Layers: 74, SeqLen: 1024, Batch: 16, TPDegrees: []int{8, 16}, FFMult: 4},
+	{Name: "T-NLG", Hidden: 4256, Layers: 78, SeqLen: 1024, Batch: 8, TPDegrees: []int{8, 16}, FFMult: 4},
+	{Name: "GPT-3", Hidden: 12288, Layers: 96, SeqLen: 1024, Batch: 2, TPDegrees: []int{32}, FFMult: 4},
+	{Name: "PALM", Hidden: 18432, Layers: 118, SeqLen: 1024, Batch: 2, TPDegrees: []int{32}, FFMult: 4},
+	{Name: "MT-NLG", Hidden: 20480, Layers: 105, SeqLen: 1024, Batch: 2, TPDegrees: []int{32}, FFMult: 4},
+}
+
+// FuturisticModels are the 1T and 10T configurations of Figure 4's right
+// side, sliced 64 ways.
+var FuturisticModels = []Model{
+	{Name: "1T", Hidden: 25600, Layers: 128, SeqLen: 1024, Batch: 2, TPDegrees: []int{64}, FFMult: 4},
+	{Name: "10T", Hidden: 64000, Layers: 205, SeqLen: 1024, Batch: 2, TPDegrees: []int{64}, FFMult: 4},
+}
+
+// ModelByName finds a model in Models or FuturisticModels.
+func ModelByName(name string) (Model, error) {
+	for _, m := range Models {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	for _, m := range FuturisticModels {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return Model{}, fmt.Errorf("transformer: unknown model %q", name)
+}
+
+// SubLayerKind enumerates the tensor-sliced sub-layers whose GEMM feeds an
+// all-reduce (Figure 15): the attention output projection and FC-2 in the
+// forward pass, and the input-gradient GEMMs of FC-1 and the input
+// projection in backprop.
+type SubLayerKind int
+
+// Sub-layers requiring an all-reduce.
+const (
+	// OutProj is the attention output projection (forward).
+	OutProj SubLayerKind = iota
+	// FC2 is the second feed-forward GEMM (forward).
+	FC2
+	// FC1Bwd is FC-1's input-gradient GEMM (backprop).
+	FC1Bwd
+	// InProjBwd is the QKV input projection's input-gradient GEMM (backprop).
+	InProjBwd
+)
+
+// String implements fmt.Stringer.
+func (k SubLayerKind) String() string {
+	switch k {
+	case OutProj:
+		return "OP-fwd"
+	case FC2:
+		return "FC2-fwd"
+	case FC1Bwd:
+		return "FC1-bwd"
+	case InProjBwd:
+		return "IP-bwd"
+	default:
+		return fmt.Sprintf("SubLayerKind(%d)", int(k))
+	}
+}
+
+// AllSubLayers lists the four AR-feeding sub-layers in Figure 15's order.
+var AllSubLayers = []SubLayerKind{OutProj, FC2, FC1Bwd, InProjBwd}
+
+// SubLayer describes one tensor-sliced GEMM→all-reduce pair.
+type SubLayer struct {
+	Model Model
+	Kind  SubLayerKind
+	TP    int
+	// Grid is the K-sliced producer GEMM.
+	Grid gemm.Grid
+	// ARBytes is the all-reduced activation size (tokens × hidden × 2B).
+	ARBytes units.Bytes
+}
+
+// SubLayerGEMM returns the sliced GEMM→AR pair for a model sub-layer at a TP
+// degree. All four produce a [tokens × H] output requiring an all-reduce;
+// they differ in the sliced K dimension:
+//
+//	OP:  K = H/TP        (attention heads sliced)
+//	FC2: K = FFMult·H/TP (row-parallel FC-2)
+//	FC1-bwd: K = FFMult·H/TP (dX = dY · W1ᵀ)
+//	IP-bwd:  K = 3H/TP       (dX of the fused QKV projection)
+//
+// Forward GEMMs read transposed weights; backward GEMMs do not (§5.2).
+func SubLayerGEMM(m Model, kind SubLayerKind, tp int) (SubLayer, error) {
+	if err := m.Validate(); err != nil {
+		return SubLayer{}, err
+	}
+	return SubLayerGEMMTokens(m, kind, tp, m.Tokens())
+}
+
+// SubLayerGEMMTokens is SubLayerGEMM with an explicit token count (M): the
+// auto-regressive generation phase processes one token per sequence (§7.3),
+// turning these GEMMs into batched GEMVs.
+func SubLayerGEMMTokens(m Model, kind SubLayerKind, tp, tokens int) (SubLayer, error) {
+	if err := m.Validate(); err != nil {
+		return SubLayer{}, err
+	}
+	if tokens <= 0 {
+		return SubLayer{}, fmt.Errorf("transformer: tokens = %d", tokens)
+	}
+	if tp <= 0 {
+		return SubLayer{}, fmt.Errorf("transformer: TP = %d", tp)
+	}
+	var fullK int
+	transB := false
+	switch kind {
+	case OutProj:
+		fullK = m.Hidden
+		transB = true
+	case FC2:
+		fullK = m.FFMult * m.Hidden
+		transB = true
+	case FC1Bwd:
+		fullK = m.FFMult * m.Hidden
+	case InProjBwd:
+		fullK = 3 * m.Hidden
+	default:
+		return SubLayer{}, fmt.Errorf("transformer: unknown sub-layer %v", kind)
+	}
+	shape := gemm.Shape{
+		M:         tokens,
+		N:         m.Hidden,
+		K:         fullK,
+		ElemBytes: 2,
+		TransB:    transB,
+	}
+	sliced, err := shape.SliceK(tp)
+	if err != nil {
+		return SubLayer{}, err
+	}
+	grid, err := gemm.NewGrid(sliced, gemm.DefaultTiling())
+	if err != nil {
+		return SubLayer{}, err
+	}
+	return SubLayer{
+		Model:   m,
+		Kind:    kind,
+		TP:      tp,
+		Grid:    grid,
+		ARBytes: shape.OutputBytes(),
+	}, nil
+}

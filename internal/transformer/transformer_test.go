@@ -1,0 +1,253 @@
+package transformer
+
+import (
+	"testing"
+
+	"t3sim/internal/units"
+)
+
+func TestModelZoo(t *testing.T) {
+	for _, m := range append(append([]Model{}, Models...), FuturisticModels...) {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+	// Parameter counts should land near the published sizes.
+	cases := []struct {
+		name string
+		want float64 // billions
+		tol  float64
+	}{
+		{"GPT-3", 175, 0.15},
+		{"PALM", 530, 0.15},
+		{"MT-NLG", 540, 0.15},
+		{"T-NLG", 17, 0.25},
+	}
+	for _, c := range cases {
+		m, err := ModelByName(c.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := float64(m.Params()) / 1e9
+		if got < c.want*(1-c.tol) || got > c.want*(1+c.tol) {
+			t.Errorf("%s params = %.0fB, want ~%.0fB", c.name, got, c.want)
+		}
+	}
+	if _, err := ModelByName("nope"); err == nil {
+		t.Error("unknown model: expected error")
+	}
+}
+
+func TestTokens(t *testing.T) {
+	mega, _ := ModelByName("Mega-GPT-2")
+	if mega.Tokens() != 16*1024 {
+		t.Errorf("Mega-GPT-2 tokens = %d, want 16K", mega.Tokens())
+	}
+	tnlg, _ := ModelByName("T-NLG")
+	if tnlg.Tokens() != 8*1024 {
+		t.Errorf("T-NLG tokens = %d, want 8K", tnlg.Tokens())
+	}
+}
+
+func TestSubLayerGEMMShapes(t *testing.T) {
+	m, _ := ModelByName("T-NLG")
+	tp := 8
+	cases := []struct {
+		kind  SubLayerKind
+		wantK int
+		trans bool
+	}{
+		{OutProj, m.Hidden / tp, true},
+		{FC2, 4 * m.Hidden / tp, true},
+		{FC1Bwd, 4 * m.Hidden / tp, false},
+		{InProjBwd, 3 * m.Hidden / tp, false},
+	}
+	for _, c := range cases {
+		sl, err := SubLayerGEMM(m, c.kind, tp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := sl.Grid.Shape
+		if s.M != m.Tokens() || s.N != m.Hidden {
+			t.Errorf("%v: output %dx%d, want %dx%d", c.kind, s.M, s.N, m.Tokens(), m.Hidden)
+		}
+		if s.K != c.wantK {
+			t.Errorf("%v: K = %d, want %d", c.kind, s.K, c.wantK)
+		}
+		if s.TransB != c.trans {
+			t.Errorf("%v: TransB = %v", c.kind, s.TransB)
+		}
+		// The AR moves the full [tokens x H] activation.
+		want := units.Bytes(int64(m.Tokens())*int64(m.Hidden)) * 2
+		if sl.ARBytes != want {
+			t.Errorf("%v: ARBytes = %v, want %v", c.kind, sl.ARBytes, want)
+		}
+	}
+}
+
+func TestSubLayerGEMMErrors(t *testing.T) {
+	m, _ := ModelByName("T-NLG")
+	if _, err := SubLayerGEMM(m, OutProj, 0); err == nil {
+		t.Error("TP=0: expected error")
+	}
+	if _, err := SubLayerGEMM(Model{}, OutProj, 8); err == nil {
+		t.Error("invalid model: expected error")
+	}
+	if _, err := SubLayerGEMM(m, SubLayerKind(99), 8); err == nil {
+		t.Error("unknown kind: expected error")
+	}
+}
+
+func TestIterationBreakdownFractions(t *testing.T) {
+	hw := DefaultHW()
+	// The paper reports Mega-GPT-2 and T-NLG spend up to 34%/43% of time on
+	// communication and up to ~47% in the sliced sub-layers overall
+	// (Figure 4). The analytical model should land in that regime.
+	for _, name := range []string{"Mega-GPT-2", "T-NLG"} {
+		m, _ := ModelByName(name)
+		for _, tp := range m.TPDegrees {
+			for _, phase := range []Phase{Training, PromptInference} {
+				it, err := NewIterationModel(m, tp, phase, hw)
+				if err != nil {
+					t.Fatal(err)
+				}
+				comm := it.CommFraction()
+				sliced := it.SlicedFraction()
+				if comm < 0.08 || comm > 0.55 {
+					t.Errorf("%s TP=%d %v: comm fraction %.2f out of plausible range", name, tp, phase, comm)
+				}
+				if sliced <= comm || sliced > 0.85 {
+					t.Errorf("%s TP=%d %v: sliced fraction %.2f vs comm %.2f", name, tp, phase, sliced, comm)
+				}
+				// Inference (no backprop) is more communication-heavy.
+				if phase == PromptInference {
+					tr, _ := NewIterationModel(m, tp, Training, hw)
+					if it.CommFraction() <= tr.CommFraction() {
+						t.Errorf("%s TP=%d: inference comm %.3f not above training %.3f",
+							name, tp, it.CommFraction(), tr.CommFraction())
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestIterationSpeedupWithFusedTimes(t *testing.T) {
+	hw := DefaultHW()
+	m, _ := ModelByName("T-NLG")
+	it, err := NewIterationModel(m, 8, Training, hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Perfect overlap: fused time = max(GEMM, RS) per sub-layer.
+	fused := map[SubLayerKind]units.Time{}
+	for kind, s := range it.Sub {
+		f := s.GEMM
+		if s.RS > f {
+			f = s.RS
+		}
+		fused[kind] = f
+	}
+	sp := it.Speedup(fused)
+	if sp <= 1.0 || sp > 1.3 {
+		t.Errorf("ideal-overlap end-to-end speedup = %.3f, want (1.0, 1.3]", sp)
+	}
+	// No fused times → no speedup.
+	if got := it.Speedup(nil); got != 1.0 {
+		t.Errorf("empty fused speedup = %v, want 1", got)
+	}
+	// Fused cannot beat removing RS entirely.
+	free := map[SubLayerKind]units.Time{}
+	for kind, s := range it.Sub {
+		free[kind] = s.GEMM
+	}
+	if it.Speedup(free) < sp {
+		t.Error("free RS should bound ideal overlap")
+	}
+}
+
+func TestCommGrowsWithTP(t *testing.T) {
+	hw := DefaultHW()
+	m, _ := ModelByName("T-NLG")
+	it8, _ := NewIterationModel(m, 8, Training, hw)
+	it16, _ := NewIterationModel(m, 16, Training, hw)
+	// Slicing shrinks GEMMs but ARs stay the same size: the communication
+	// fraction grows with TP (the paper's motivation, §2.4).
+	if it16.CommFraction() <= it8.CommFraction() {
+		t.Errorf("comm fraction TP16 %.3f not above TP8 %.3f", it16.CommFraction(), it8.CommFraction())
+	}
+}
+
+func TestPhaseAndKindStrings(t *testing.T) {
+	if Training.String() != "training" || PromptInference.String() != "prompt-inference" {
+		t.Error("phase strings wrong")
+	}
+	if OutProj.String() != "OP-fwd" || FC2.String() != "FC2-fwd" ||
+		FC1Bwd.String() != "FC1-bwd" || InProjBwd.String() != "IP-bwd" {
+		t.Error("kind strings wrong")
+	}
+	if Phase(9).String() == "" || SubLayerKind(9).String() == "" {
+		t.Error("unknown values should render")
+	}
+}
+
+func TestActiveSubLayers(t *testing.T) {
+	if n := len(ActiveSubLayers(Training)); n != 4 {
+		t.Errorf("training sub-layers = %d, want 4", n)
+	}
+	if n := len(ActiveSubLayers(PromptInference)); n != 2 {
+		t.Errorf("inference sub-layers = %d, want 2", n)
+	}
+}
+
+func TestTokenGenerationPhase(t *testing.T) {
+	hw := DefaultHW()
+	m, _ := ModelByName("T-NLG")
+	it, err := NewIterationModel(m, 8, TokenGeneration, hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Generation processes one token per sequence.
+	if got := PhaseTokens(TokenGeneration, m); got != m.Batch {
+		t.Errorf("PhaseTokens = %d, want %d", got, m.Batch)
+	}
+	if got := PhaseTokens(Training, m); got != m.Tokens() {
+		t.Errorf("training PhaseTokens = %d, want %d", got, m.Tokens())
+	}
+	// Only the two forward AR sub-layers are active.
+	if len(it.Sub) != 2 {
+		t.Errorf("generation sub-layers = %d, want 2", len(it.Sub))
+	}
+	// A decode step is orders of magnitude shorter than a prompt iteration.
+	prompt, _ := NewIterationModel(m, 8, PromptInference, hw)
+	if it.LayerTotal()*50 > prompt.LayerTotal() {
+		t.Errorf("decode layer %v not ≪ prompt layer %v", it.LayerTotal(), prompt.LayerTotal())
+	}
+	// Decode all-reduces are latency-bound: far smaller than the sub-layer.
+	for kind, s := range it.Sub {
+		if s.RS >= s.GEMM {
+			t.Errorf("%v: decode RS %v not below GEMV %v", kind, s.RS, s.GEMM)
+		}
+	}
+	if TokenGeneration.String() != "token-generation" {
+		t.Error("phase string wrong")
+	}
+}
+
+func TestSubLayerGEMMTokensValidation(t *testing.T) {
+	m, _ := ModelByName("T-NLG")
+	if _, err := SubLayerGEMMTokens(m, FC2, 8, 0); err == nil {
+		t.Error("zero tokens: expected error")
+	}
+	sl, err := SubLayerGEMMTokens(m, FC2, 8, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sl.Grid.Shape.M != 64 {
+		t.Errorf("M = %d, want 64", sl.Grid.Shape.M)
+	}
+	// The AR moves tokens x H regardless.
+	if sl.ARBytes != 64*4256*2 {
+		t.Errorf("ARBytes = %v", sl.ARBytes)
+	}
+}
