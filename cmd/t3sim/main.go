@@ -3,18 +3,31 @@
 //
 //	t3sim -exp fig16          # sub-layer speedups (the headline result)
 //	t3sim -exp fig18          # data-movement reductions
-//	t3sim -exp all            # everything (several minutes)
+//	t3sim -exp all            # everything
+//	t3sim -exp all -j 1       # fully serial baseline (for timing/profiles)
 //	t3sim -exp fig16 -json    # machine-readable rows (times in picoseconds)
 //	t3sim -list               # available experiments
+//
+// Every simulation is deterministic and owns a private engine, so -j only
+// changes scheduling, never results: `-exp all -j N` output is byte-identical
+// to `-j 1`, and experiments always print in their fixed catalogue order.
+//
+// Profiling the simulator itself on the paper experiments:
+//
+//	t3sim -exp all -j 1 -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"t3sim"
@@ -40,20 +53,24 @@ type experiment struct {
 }
 
 // context shares the memoizing evaluator across experiments in one process.
+// With -j > 1 experiments run on separate goroutines; the evaluator itself
+// is safe for concurrent use and deduplicates racing case evaluations.
 type context struct {
-	setup t3sim.ExperimentSetup
-	ev    *t3sim.Evaluator
+	setup    t3sim.ExperimentSetup
+	jobs     int
+	evalOnce sync.Once
+	ev       *t3sim.Evaluator
+	evErr    error
 }
 
 func (c *context) evaluator() (*t3sim.Evaluator, error) {
-	if c.ev == nil {
-		ev, err := t3sim.NewEvaluator(c.setup)
-		if err != nil {
-			return nil, err
+	c.evalOnce.Do(func() {
+		c.ev, c.evErr = t3sim.NewEvaluator(c.setup)
+		if c.ev != nil {
+			c.ev.Parallelism = c.jobs
 		}
-		c.ev = ev
-	}
-	return c.ev, nil
+	})
+	return c.ev, c.evErr
 }
 
 // text adapts a string-producing experiment.
@@ -123,11 +140,43 @@ var experimentList = []experiment{
 	{"ablation-pipeline", "producer stage schedule (read-then-compute vs double-buffered)", withEval(t3sim.AblationGEMMPipeline)},
 }
 
+// outcome is one experiment's fully rendered output, produced on a worker
+// goroutine and printed by the main goroutine in catalogue order.
+type outcome struct {
+	out     []byte
+	err     error
+	elapsed time.Duration
+}
+
+// render produces the exact bytes the experiment writes to stdout.
+func render(e experiment, ctx *context, asJSON bool) outcome {
+	start := time.Now()
+	res, err := e.run(ctx)
+	if err != nil {
+		return outcome{err: err, elapsed: time.Since(start)}
+	}
+	var buf bytes.Buffer
+	if asJSON {
+		enc := json.NewEncoder(&buf)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(map[string]any{"experiment": e.name, "result": res}); err != nil {
+			return outcome{err: err, elapsed: time.Since(start)}
+		}
+	} else {
+		fmt.Fprintln(&buf, res.Render())
+	}
+	return outcome{out: buf.Bytes(), elapsed: time.Since(start)}
+}
+
 func main() {
 	exp := flag.String("exp", "", "experiment to run (see -list); 'all' runs everything")
 	list := flag.Bool("list", false, "list available experiments")
 	timing := flag.Bool("time", false, "print wall-clock time per experiment")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON (times are picoseconds)")
+	jobs := flag.Int("j", runtime.GOMAXPROCS(0),
+		"max concurrent simulations; 1 = fully serial; output is identical at any -j")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
 
 	if *list || *exp == "" {
@@ -144,42 +193,100 @@ func main() {
 		}
 		return
 	}
+	if *jobs < 1 {
+		fmt.Fprintf(os.Stderr, "t3sim: -j %d: need at least one job\n", *jobs)
+		os.Exit(2)
+	}
 
-	ctx := &context{setup: t3sim.DefaultExperimentSetup()}
-	run := func(e experiment) {
-		start := time.Now()
-		out, err := e.run(ctx)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "t3sim: %s: %v\n", e.name, err)
-			os.Exit(1)
-		}
-		if *asJSON {
-			enc := json.NewEncoder(os.Stdout)
-			enc.SetIndent("", "  ")
-			if err := enc.Encode(map[string]any{"experiment": e.name, "result": out}); err != nil {
-				fmt.Fprintf(os.Stderr, "t3sim: %s: %v\n", e.name, err)
+	// Registered before the CPU profile starts, so on exit (deferred LIFO)
+	// the CPU profile is stopped and flushed first, then the heap profile is
+	// written, then the process exits.
+	exitCode := 0
+	defer func() {
+		if *memprofile != "" {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "t3sim: -memprofile: %v\n", err)
 				os.Exit(1)
 			}
-		} else {
-			fmt.Println(out.Render())
+			runtime.GC() // materialize up-to-date allocation stats
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "t3sim: -memprofile: %v\n", err)
+				os.Exit(1)
+			}
+			f.Close()
 		}
+		os.Exit(exitCode)
+	}()
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "t3sim: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "t3sim: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+
+	ctx := &context{setup: t3sim.DefaultExperimentSetup(), jobs: *jobs}
+	emit := func(name string, o outcome) bool {
+		if o.err != nil {
+			fmt.Fprintf(os.Stderr, "t3sim: %s: %v\n", name, o.err)
+			exitCode = 1
+			return false
+		}
+		os.Stdout.Write(o.out)
 		if *timing {
-			fmt.Fprintf(os.Stderr, "[%s took %v]\n", e.name, time.Since(start).Round(time.Millisecond))
+			fmt.Fprintf(os.Stderr, "[%s took %v]\n", name, o.elapsed.Round(time.Millisecond))
 		}
+		return true
 	}
 
 	if *exp == "all" {
-		for _, e := range experimentList {
-			run(e)
+		// Fan the catalogue out over -j workers but print strictly in
+		// catalogue order: worker i delivers into slot i and the main
+		// goroutine drains the slots sequentially, so the byte stream never
+		// depends on scheduling. (Per-experiment wall-clocks under -time do
+		// vary with -j; they measure concurrent execution.)
+		slots := make([]chan outcome, len(experimentList))
+		for i := range slots {
+			slots[i] = make(chan outcome, 1)
+		}
+		idx := make(chan int)
+		workers := *jobs
+		if workers > len(experimentList) {
+			workers = len(experimentList)
+		}
+		for w := 0; w < workers; w++ {
+			go func() {
+				for i := range idx {
+					slots[i] <- render(experimentList[i], ctx, *asJSON)
+				}
+			}()
+		}
+		go func() {
+			for i := range experimentList {
+				idx <- i
+			}
+			close(idx)
+		}()
+		for i, e := range experimentList {
+			if !emit(e.name, <-slots[i]) {
+				return
+			}
 		}
 		return
 	}
 	for _, e := range experimentList {
 		if e.name == *exp {
-			run(e)
+			emit(e.name, render(e, ctx, *asJSON))
 			return
 		}
 	}
 	fmt.Fprintf(os.Stderr, "t3sim: unknown experiment %q (use -list)\n", *exp)
-	os.Exit(2)
+	exitCode = 2
 }

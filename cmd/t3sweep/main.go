@@ -5,16 +5,23 @@
 //	t3sweep -m 8192 -n 4096 -k 512 -devices 4,8,16
 //	t3sweep -m 8192 -n 4096 -k 512 -devices 8 -links 150,75,37.5 -arb mca
 //	t3sweep -collective direct -devices 8
+//	t3sweep -devices 4,8,16,32 -links 300,150,75 -j 8
 //
 // Output columns: devices, link_gbps, cus, arbitration, collective,
 // gemm_us, collective_done_us, done_us, speedup_vs_sequential, dram_mib,
 // link_mib, tracker_high_water.
+//
+// -j fans the cross-product out over concurrent simulations. Rows always
+// print in sweep order (cus-major, then links, then devices) and every
+// configuration owns a private simulation engine, so the CSV is
+// byte-identical at any -j.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -33,6 +40,8 @@ func main() {
 		arb   = flag.String("arb", "mca", "arbitration: rr | mca | cf")
 		coll  = flag.String("collective", "rs", "collective: rs | direct | ag | a2a")
 		hdr   = flag.Bool("header", true, "print the CSV header")
+		jobs  = flag.Int("j", runtime.GOMAXPROCS(0),
+			"max concurrent simulations; output order is identical at any -j")
 	)
 	flag.Parse()
 
@@ -64,22 +73,71 @@ func main() {
 		fail(err)
 	}
 
-	if *hdr {
-		fmt.Println("devices,link_gbps,cus,arbitration,collective,gemm_us,collective_done_us,done_us,speedup_vs_sequential,dram_mib,link_mib,tracker_high_water")
+	if *jobs < 1 {
+		fail(fmt.Errorf("-j %d: need at least one job", *jobs))
 	}
+
+	// The sweep cross-product, in output order.
+	type config struct {
+		devices int
+		link    float64
+		cus     int
+	}
+	var sweep []config
 	for _, nc := range cuList {
 		for _, lg := range linkList {
 			for _, nd := range deviceList {
-				if err := runOne(grid, nd, lg, nc, arbitration, collective, *arb, *coll); err != nil {
-					fail(err)
-				}
+				sweep = append(sweep, config{devices: nd, link: lg, cus: nc})
 			}
 		}
 	}
+
+	if *hdr {
+		fmt.Println("devices,link_gbps,cus,arbitration,collective,gemm_us,collective_done_us,done_us,speedup_vs_sequential,dram_mib,link_mib,tracker_high_water")
+	}
+
+	// Fan simulations out over -j workers; print rows strictly in sweep
+	// order by draining per-index result slots.
+	type rowResult struct {
+		row string
+		err error
+	}
+	slots := make([]chan rowResult, len(sweep))
+	for i := range slots {
+		slots[i] = make(chan rowResult, 1)
+	}
+	idx := make(chan int)
+	workers := *jobs
+	if workers > len(sweep) {
+		workers = len(sweep)
+	}
+	for w := 0; w < workers; w++ {
+		go func() {
+			for i := range idx {
+				c := sweep[i]
+				row, err := runOne(grid, c.devices, c.link, c.cus, arbitration, collective, *arb, *coll)
+				slots[i] <- rowResult{row: row, err: err}
+			}
+		}()
+	}
+	go func() {
+		for i := range sweep {
+			idx <- i
+		}
+		close(idx)
+	}()
+	for i := range sweep {
+		r := <-slots[i]
+		if r.err != nil {
+			fail(r.err)
+		}
+		fmt.Print(r.row)
+	}
 }
 
+// runOne simulates one configuration and returns its CSV row.
 func runOne(grid t3sim.GEMMGrid, devices int, linkGBps float64, cus int,
-	arb t3sim.Arbitration, coll t3sim.FusedCollective, arbName, collName string) error {
+	arb t3sim.Arbitration, coll t3sim.FusedCollective, arbName, collName string) (string, error) {
 	gpu := t3sim.DefaultGPUConfig()
 	gpu.CUs = cus
 	link := t3sim.DefaultLinkConfig()
@@ -108,19 +166,18 @@ func runOne(grid t3sim.GEMMGrid, devices int, linkGBps float64, cus int,
 		res, err = t3sim.RunFusedGEMMRS(opts)
 	}
 	if err != nil {
-		return err
+		return "", err
 	}
 
 	// Sequential reference: isolated GEMM plus the serialized collective.
 	seq := res.GEMMDone + sequentialWire(grid, devices, link, coll)
 
-	fmt.Printf("%d,%.1f,%d,%s,%s,%.3f,%.3f,%.3f,%.3f,%.1f,%.1f,%d\n",
+	return fmt.Sprintf("%d,%.1f,%d,%s,%s,%.3f,%.3f,%.3f,%.3f,%.1f,%.1f,%d\n",
 		devices, linkGBps, cus, arbName, collName,
 		res.GEMMDone.Micros(), res.CollectiveDone.Micros(), res.Done.Micros(),
 		float64(seq)/float64(res.Done),
 		res.DRAM.TotalBytes().MiBf(), res.LinkBytes.MiBf(),
-		res.TrackerMaxLive)
-	return nil
+		res.TrackerMaxLive), nil
 }
 
 // sequentialWire estimates the serialized collective's wire time.

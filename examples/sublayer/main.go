@@ -32,21 +32,28 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// EvaluateAll fans the sweep out over a worker pool (results come back
+	// in input order, identical to one-at-a-time Evaluate calls).
+	var cases []t3sim.SubCase
+	for _, tp := range model.TPDegrees {
+		for _, kind := range t3sim.AllSubLayers() {
+			cases = append(cases, t3sim.SubCase{Model: model, Kind: kind, TP: tp})
+		}
+	}
+	rows, err := ev.EvaluateAll(cases)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	fmt.Printf("%s (hidden %d, %d layers, %d tokens)\n\n",
 		model.Name, model.Hidden, model.Layers, model.Tokens())
 	fmt.Printf("%-10s %-4s %12s %12s %12s | %8s %8s %8s | %s\n",
 		"sub-layer", "TP", "GEMM", "RS", "AG", "T3", "T3-MCA", "ideal", "data moved")
-	for _, tp := range model.TPDegrees {
-		for _, kind := range t3sim.AllSubLayers() {
-			r, err := ev.Evaluate(t3sim.SubCase{Model: model, Kind: kind, TP: tp})
-			if err != nil {
-				log.Fatal(err)
-			}
-			fmt.Printf("%-10v %-4d %12v %12v %12v | %7.2fx %7.2fx %7.2fx | -%.1f%%\n",
-				kind, tp, r.GEMM, r.RS, r.AG,
-				r.SpeedupT3(), r.SpeedupT3MCA(), r.SpeedupIdeal(),
-				100*r.DataMovementReduction())
-		}
+	for i, r := range rows {
+		fmt.Printf("%-10v %-4d %12v %12v %12v | %7.2fx %7.2fx %7.2fx | -%.1f%%\n",
+			cases[i].Kind, cases[i].TP, r.GEMM, r.RS, r.AG,
+			r.SpeedupT3(), r.SpeedupT3MCA(), r.SpeedupIdeal(),
+			100*r.DataMovementReduction())
 	}
 	fmt.Println("\nspeedups are over sequential GEMM->RS->AG; data moved compares DRAM bytes")
 }

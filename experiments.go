@@ -10,7 +10,12 @@ import (
 type (
 	// ExperimentSetup is the machine configuration experiments run on.
 	ExperimentSetup = experiments.Setup
-	// Evaluator runs and memoizes per-sub-layer scheme comparisons.
+	// Evaluator runs and memoizes per-sub-layer scheme comparisons. It is
+	// safe for concurrent use: racing Evaluate calls for one case are
+	// deduplicated, and EvaluateAll fans a case list out over a worker pool
+	// (bounded by the Parallelism field; 0 means GOMAXPROCS) with results in
+	// input order. Every simulation owns a private single-goroutine engine,
+	// so results are bit-identical at any parallelism.
 	Evaluator = experiments.Evaluator
 	// SubCase names one evaluated sub-layer (model, kind, TP).
 	SubCase = experiments.SubCase
@@ -43,7 +48,9 @@ type (
 // DESIGN.md).
 func DefaultExperimentSetup() ExperimentSetup { return experiments.DefaultSetup() }
 
-// NewEvaluator builds a memoizing sub-layer evaluator for the setup.
+// NewEvaluator builds a memoizing, concurrency-safe sub-layer evaluator for
+// the setup. Evaluate one case at a time, or fan a whole case list out with
+// EvaluateAll; set Parallelism = 1 for a fully serial evaluator.
 func NewEvaluator(s ExperimentSetup) (*Evaluator, error) { return experiments.NewEvaluator(s) }
 
 // SmallModelCases returns the Figure 15/16/18 case list.

@@ -28,14 +28,14 @@ func Fig15(ev *Evaluator) (*Fig15Result, error) {
 
 func fig15For(ev *Evaluator, cases []SubCase) (*Fig15Result, error) {
 	res := &Fig15Result{}
-	for _, c := range cases {
-		r, err := ev.Evaluate(c)
-		if err != nil {
-			return nil, err
-		}
+	rows, err := ev.EvaluateAll(cases)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
 		total := float64(r.Sequential)
 		res.Rows = append(res.Rows, Fig15Row{
-			Case:     c,
+			Case:     r.Case,
 			GEMM:     r.GEMM,
 			RS:       r.RS,
 			AG:       r.AG,

@@ -40,13 +40,13 @@ func Fig16Large(ev *Evaluator) (*Fig16Result, error) {
 func fig16For(ev *Evaluator, cases []SubCase) (*Fig16Result, error) {
 	res := &Fig16Result{}
 	var t3s, mcas, ideals []float64
-	for _, c := range cases {
-		r, err := ev.Evaluate(c)
-		if err != nil {
-			return nil, err
-		}
+	rows, err := ev.EvaluateAll(cases)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
 		row := Fig16Row{
-			Case:         c,
+			Case:         r.Case,
 			T3:           r.SpeedupT3(),
 			T3MCA:        r.SpeedupT3MCA(),
 			IdealOverlap: r.SpeedupIdeal(),
@@ -60,7 +60,6 @@ func fig16For(ev *Evaluator, cases []SubCase) (*Fig16Result, error) {
 			res.MaxMCA = row.T3MCA
 		}
 	}
-	var err error
 	if res.GeomeanT3, err = stats.Geomean(t3s); err != nil {
 		return nil, err
 	}

@@ -37,13 +37,13 @@ type Fig18Result struct {
 func Fig18(ev *Evaluator) (*Fig18Result, error) {
 	res := &Fig18Result{}
 	var reds, rsr, gr, wr []float64
-	for _, c := range SmallModelCases() {
-		r, err := ev.Evaluate(c)
-		if err != nil {
-			return nil, err
-		}
+	rows, err := ev.EvaluateAll(SmallModelCases())
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
 		row := Fig18Row{
-			Case:      c,
+			Case:      r.Case,
 			Baseline:  r.BaselineDRAM,
 			T3:        r.T3DRAM,
 			Reduction: r.DataMovementReduction(),

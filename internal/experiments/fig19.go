@@ -50,6 +50,23 @@ func fig19For(ev *Evaluator, names []string) (*Fig19Result, error) {
 	hw := ev.Setup.HW()
 	res := &Fig19Result{}
 	var trT3, trMCA, inT3, inMCA []float64
+	// Pre-warm the memo cache in parallel; the sequential loop below then
+	// only reads cached results, keeping its output order untouched.
+	var all []SubCase
+	for _, name := range names {
+		m, err := transformer.ModelByName(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, tp := range m.TPDegrees {
+			for _, kind := range transformer.AllSubLayers {
+				all = append(all, SubCase{Model: m, Kind: kind, TP: tp})
+			}
+		}
+	}
+	if _, err := ev.EvaluateAll(all); err != nil {
+		return nil, err
+	}
 	for _, name := range names {
 		m, err := transformer.ModelByName(name)
 		if err != nil {

@@ -32,7 +32,10 @@ func Fig20(ev1 *Evaluator) (*Fig20Result, error) {
 		return nil, err
 	}
 
-	res := &Fig20Result{}
+	// ev2 is private to this driver, so its parallelism mirrors ev1's.
+	ev2.Parallelism = ev1.Parallelism
+
+	var cases []SubCase
 	for _, name := range []string{"Mega-GPT-2", "T-NLG", "GPT-3", "PALM", "MT-NLG"} {
 		m, err := transformer.ModelByName(name)
 		if err != nil {
@@ -40,21 +43,25 @@ func Fig20(ev1 *Evaluator) (*Fig20Result, error) {
 		}
 		tp := m.TPDegrees[len(m.TPDegrees)-1]
 		for _, kind := range []transformer.SubLayerKind{transformer.OutProj, transformer.FC2} {
-			c := SubCase{Model: m, Kind: kind, TP: tp}
-			r1, err := ev1.Evaluate(c)
-			if err != nil {
-				return nil, err
-			}
-			r2, err := ev2.Evaluate(c)
-			if err != nil {
-				return nil, err
-			}
-			res.Rows = append(res.Rows, Fig20Row{
-				Case:      c,
-				Speedup1x: r1.SpeedupT3MCA(),
-				Speedup2x: r2.SpeedupT3MCA(),
-			})
+			cases = append(cases, SubCase{Model: m, Kind: kind, TP: tp})
 		}
+	}
+	rows1, err := ev1.EvaluateAll(cases)
+	if err != nil {
+		return nil, err
+	}
+	rows2, err := ev2.EvaluateAll(cases)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Fig20Result{}
+	for i, c := range cases {
+		res.Rows = append(res.Rows, Fig20Row{
+			Case:      c,
+			Speedup1x: rows1[i].SpeedupT3MCA(),
+			Speedup2x: rows2[i].SpeedupT3MCA(),
+		})
 	}
 	return res, nil
 }

@@ -2,6 +2,8 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"t3sim/internal/collective"
 	"t3sim/internal/gpu"
@@ -76,10 +78,31 @@ func (r SublayerResult) DataMovementReduction() float64 {
 }
 
 // Evaluator runs and memoizes sub-layer evaluations so Figures 15–19 share
-// one set of simulations.
+// one set of simulations. It is safe for concurrent use: the memo cache is
+// mutex-guarded and concurrent Evaluate calls for the same case are
+// deduplicated (singleflight), so each case is simulated exactly once no
+// matter how many experiments race for it. Every simulation owns a private
+// sim.Engine, so results are bit-identical regardless of scheduling.
 type Evaluator struct {
 	Setup Setup
-	cache map[string]SublayerResult
+
+	// Parallelism bounds the worker goroutines EvaluateAll spawns and, when
+	// set to 1, also forces the per-case scheme simulations to run
+	// back-to-back on one goroutine (the fully serial baseline that -j 1
+	// exposes for profiling). Zero means GOMAXPROCS. Mutating it while
+	// evaluations are in flight is not supported.
+	Parallelism int
+
+	mu       sync.Mutex
+	cache    map[string]SublayerResult
+	inflight map[string]*evalCall
+}
+
+// evalCall is one in-flight evaluation waiters block on.
+type evalCall struct {
+	done chan struct{}
+	res  SublayerResult
+	err  error
 }
 
 // NewEvaluator returns an evaluator for the setup.
@@ -87,21 +110,102 @@ func NewEvaluator(s Setup) (*Evaluator, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
-	return &Evaluator{Setup: s, cache: map[string]SublayerResult{}}, nil
+	return &Evaluator{
+		Setup:    s,
+		cache:    map[string]SublayerResult{},
+		inflight: map[string]*evalCall{},
+	}, nil
+}
+
+// workers resolves the effective worker count.
+func (e *Evaluator) workers() int {
+	if e.Parallelism > 0 {
+		return e.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Evaluate runs (or returns the cached) full scheme comparison for one case.
+// If another goroutine is already evaluating the same case, Evaluate waits
+// for that run instead of duplicating it.
 func (e *Evaluator) Evaluate(c SubCase) (SublayerResult, error) {
 	key := c.String()
+	e.mu.Lock()
 	if r, ok := e.cache[key]; ok {
+		e.mu.Unlock()
 		return r, nil
 	}
+	if call, ok := e.inflight[key]; ok {
+		e.mu.Unlock()
+		<-call.done
+		return call.res, call.err
+	}
+	call := &evalCall{done: make(chan struct{})}
+	e.inflight[key] = call
+	e.mu.Unlock()
+
 	r, err := e.evaluate(c)
 	if err != nil {
-		return SublayerResult{}, fmt.Errorf("%s: %w", key, err)
+		err = fmt.Errorf("%s: %w", key, err)
 	}
-	e.cache[key] = r
-	return r, nil
+	call.res, call.err = r, err
+
+	e.mu.Lock()
+	if err == nil {
+		e.cache[key] = r
+	}
+	// Errors are not cached: later callers retry rather than inherit a
+	// stale failure.
+	delete(e.inflight, key)
+	e.mu.Unlock()
+	close(call.done)
+	return r, err
+}
+
+// EvaluateAll evaluates every case on a bounded worker pool and returns the
+// results in input order. Memoization and singleflight are shared with
+// Evaluate, so cases already simulated are free and duplicate entries in
+// cases are simulated once. On failure the error of the lowest-index failing
+// case is returned, so sequential and parallel runs report identically.
+func (e *Evaluator) EvaluateAll(cases []SubCase) ([]SublayerResult, error) {
+	results := make([]SublayerResult, len(cases))
+	errs := make([]error, len(cases))
+	workers := e.workers()
+	if workers > len(cases) {
+		workers = len(cases)
+	}
+	if workers <= 1 {
+		for i, c := range cases {
+			r, err := e.Evaluate(c)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = r
+		}
+		return results, nil
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i], errs[i] = e.Evaluate(cases[i])
+			}
+		}()
+	}
+	for i := range cases {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
 }
 
 func (e *Evaluator) evaluate(c SubCase) (SublayerResult, error) {
@@ -112,10 +216,53 @@ func (e *Evaluator) evaluate(c SubCase) (SublayerResult, error) {
 	}
 	res := SublayerResult{Case: c}
 
-	// Isolated baseline GEMM on the discrete-event simulator.
-	gemmTime, gemmReads, err := e.isolatedGEMM(sl, false)
-	if err != nil {
-		return SublayerResult{}, err
+	// The three discrete-event simulations of one case — isolated baseline
+	// GEMM, fused T3 (round-robin arbitration), fused T3-MCA — are fully
+	// independent: each owns a private sim.Engine, so they can run on
+	// separate goroutines with bit-identical results. With Parallelism == 1
+	// they run back-to-back on this goroutine instead.
+	fusedOpts := t3core.FusedOptions{
+		GPU:         s.GPU,
+		Memory:      s.Memory,
+		Link:        s.Link,
+		Tracker:     s.Tracker,
+		Devices:     c.TP,
+		Grid:        sl.Grid,
+		Collective:  t3core.RingReduceScatter,
+		Arbitration: t3core.ArbRoundRobin,
+	}
+	mcaOpts := fusedOpts
+	mcaOpts.Arbitration = t3core.ArbMCA
+
+	var (
+		gemmTime  units.Time
+		gemmReads units.Bytes
+		gemmErr   error
+		t3res     t3core.FusedResult
+		t3err     error
+		mcaRes    t3core.FusedResult
+		mcaErr    error
+	)
+	runGEMM := func() { gemmTime, gemmReads, gemmErr = e.isolatedGEMM(sl, false) }
+	runT3 := func() { t3res, t3err = t3core.RunFusedGEMMRS(fusedOpts) }
+	runMCA := func() { mcaRes, mcaErr = t3core.RunFusedGEMMRS(mcaOpts) }
+	if e.workers() == 1 {
+		runGEMM()
+		runT3()
+		runMCA()
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() { defer wg.Done(); runT3() }()
+		go func() { defer wg.Done(); runMCA() }()
+		runGEMM()
+		wg.Wait()
+	}
+	// Fixed error precedence keeps parallel and serial failures identical.
+	for _, err := range []error{gemmErr, t3err, mcaErr} {
+		if err != nil {
+			return SublayerResult{}, err
+		}
 	}
 	res.GEMM = gemmTime
 
@@ -144,29 +291,8 @@ func (e *Evaluator) evaluate(c SubCase) (SublayerResult, error) {
 	res.IdealOverlap = maxTime(res.GEMM, res.RS) + res.AG
 	res.IdealRSNMC = maxTime(res.GEMM, res.RSNMC) + res.AG
 
-	// Fused runs: T3 (round-robin MC arbitration) and T3-MCA.
-	fusedOpts := t3core.FusedOptions{
-		GPU:         s.GPU,
-		Memory:      s.Memory,
-		Link:        s.Link,
-		Tracker:     s.Tracker,
-		Devices:     c.TP,
-		Grid:        sl.Grid,
-		Collective:  t3core.RingReduceScatter,
-		Arbitration: t3core.ArbRoundRobin,
-	}
-	t3res, err := t3core.RunFusedGEMMRS(fusedOpts)
-	if err != nil {
-		return SublayerResult{}, err
-	}
 	res.T3 = t3res.Done + res.AG
 	res.TrackerMaxLive = t3res.TrackerMaxLive
-
-	fusedOpts.Arbitration = t3core.ArbMCA
-	mcaRes, err := t3core.RunFusedGEMMRS(fusedOpts)
-	if err != nil {
-		return SublayerResult{}, err
-	}
 	res.T3MCA = mcaRes.Done + res.AG
 	res.MCAThreshold = mcaRes.MCAThreshold
 

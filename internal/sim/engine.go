@@ -3,10 +3,15 @@
 // tracker) runs on. It is a classic event-calendar design: callbacks are
 // scheduled at absolute picosecond timestamps and executed in (time,
 // insertion-order) order, which makes simulations fully deterministic.
+//
+// An Engine is strictly single-goroutine: all model code runs inside event
+// handlers on the goroutine that calls Run/RunUntil, and an Engine must never
+// be shared across goroutines. Concurrency lives one level up — independent
+// simulations each own a private Engine and may run on separate goroutines
+// (see internal/experiments.Evaluator.EvaluateAll).
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 
 	"t3sim/internal/units"
@@ -22,25 +27,24 @@ type event struct {
 	fn  Handler
 }
 
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// before reports whether e fires ahead of o under the deterministic
+// (time, insertion-seq) ordering contract.
+func (e event) before(o event) bool {
+	if e.at != o.at {
+		return e.at < o.at
 	}
-	return q[i].seq < q[j].seq
+	return e.seq < o.seq
 }
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return e
-}
+
+// The event calendar is a value-based quaternary (4-ary) min-heap stored
+// directly in a slice: no per-event pointer allocation and no interface
+// boxing on push/pop, so steady-state scheduling costs zero allocations
+// (the backing array is reused across drain cycles). The 4-ary layout
+// (children of i at 4i+1..4i+4) halves tree depth versus a binary heap,
+// trading a wider sibling scan — which sits in one cache line for 24-byte
+// events — for fewer cache-missing levels on sift-down, the pop-side cost
+// that dominates a DES dispatch loop.
+const heapArity = 4
 
 // Engine is a single-threaded discrete-event simulator. The zero value is
 // ready to use. Engines are not safe for concurrent use; all model code runs
@@ -48,7 +52,7 @@ func (q *eventQueue) Pop() any {
 type Engine struct {
 	now       units.Time
 	seq       uint64
-	queue     eventQueue
+	queue     []event
 	processed uint64
 }
 
@@ -58,7 +62,10 @@ func NewEngine() *Engine { return &Engine{} }
 // Now returns the current simulation time.
 func (e *Engine) Now() units.Time { return e.now }
 
-// Processed returns the number of events executed so far.
+// Processed returns the number of events executed so far. The count is
+// advanced before a handler runs, so inside a handler it includes the event
+// currently executing; after Run or RunUntil returns it equals exactly the
+// number of handlers that fired.
 func (e *Engine) Processed() uint64 { return e.processed }
 
 // Pending returns the number of scheduled events not yet executed.
@@ -74,7 +81,7 @@ func (e *Engine) At(t units.Time, fn Handler) {
 		panic("sim: scheduling nil handler")
 	}
 	e.seq++
-	heap.Push(&e.queue, &event{at: t, seq: e.seq, fn: fn})
+	e.push(event{at: t, seq: e.seq, fn: fn})
 }
 
 // After schedules fn to run d after the current time. Negative delays panic.
@@ -94,9 +101,13 @@ func (e *Engine) Run() units.Time {
 	return e.now
 }
 
-// RunUntil executes events with timestamps <= deadline. Events scheduled
-// beyond the deadline remain queued; the clock is advanced to the deadline if
-// the queue drains or only later events remain.
+// RunUntil executes events with timestamps <= deadline, including events
+// that handlers schedule at the deadline itself while draining.
+//
+// Postcondition: Now() == deadline exactly (even when the queue drains early
+// or the last event fires exactly at the deadline), Processed() counts every
+// handler that fired, and Pending() holds only events strictly after the
+// deadline.
 func (e *Engine) RunUntil(deadline units.Time) units.Time {
 	if deadline < e.now {
 		panic(fmt.Sprintf("sim: RunUntil(%v) before now %v", deadline, e.now))
@@ -109,8 +120,62 @@ func (e *Engine) RunUntil(deadline units.Time) units.Time {
 }
 
 func (e *Engine) step() {
-	ev := heap.Pop(&e.queue).(*event)
+	ev := e.pop()
 	e.now = ev.at
 	e.processed++
 	ev.fn()
+}
+
+// push inserts ev, sifting it up toward the root.
+func (e *Engine) push(ev event) {
+	q := append(e.queue, ev)
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / heapArity
+		if !ev.before(q[p]) {
+			break
+		}
+		q[i] = q[p]
+		i = p
+	}
+	q[i] = ev
+	e.queue = q
+}
+
+// pop removes and returns the earliest event, sifting the displaced last
+// element down through the hole it leaves at the root.
+func (e *Engine) pop() event {
+	q := e.queue
+	top := q[0]
+	n := len(q) - 1
+	last := q[n]
+	q[n] = event{} // drop the Handler reference so the GC can reclaim it
+	if n > 0 {
+		i := 0
+		for {
+			c := heapArity*i + 1
+			if c >= n {
+				break
+			}
+			// Pick the earliest of up to four siblings.
+			min := c
+			end := c + heapArity
+			if end > n {
+				end = n
+			}
+			for j := c + 1; j < end; j++ {
+				if q[j].before(q[min]) {
+					min = j
+				}
+			}
+			if !q[min].before(last) {
+				break
+			}
+			q[i] = q[min]
+			i = min
+		}
+		q[i] = last
+	}
+	e.queue = q[:n]
+	return top
 }

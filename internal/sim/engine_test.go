@@ -74,6 +74,47 @@ func TestRunUntil(t *testing.T) {
 	}
 }
 
+func TestRunUntilDrainExactlyAtDeadline(t *testing.T) {
+	// The documented postcondition: events at exactly the deadline run —
+	// including ones scheduled at the deadline by handlers firing at the
+	// deadline — Processed() counts them, and Now() equals the deadline.
+	e := NewEngine()
+	ran := 0
+	e.At(10, func() { ran++ })
+	e.At(20, func() {
+		ran++
+		e.At(20, func() { ran++ }) // same-time cascade at the deadline
+	})
+	e.At(21, func() { ran++ })
+	end := e.RunUntil(20)
+	if end != 20 || e.Now() != 20 {
+		t.Errorf("clock = %v/%v, want 20 (clock-equals-deadline postcondition)", end, e.Now())
+	}
+	if ran != 3 {
+		t.Errorf("ran = %d, want 3 (deadline event and its same-time cascade)", ran)
+	}
+	if e.Processed() != 3 {
+		t.Errorf("Processed = %d, want 3", e.Processed())
+	}
+	if e.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1 (only the post-deadline event)", e.Pending())
+	}
+	e.Run()
+	if ran != 4 || e.Processed() != 4 || e.Now() != 21 {
+		t.Errorf("after Run: ran=%d processed=%d now=%v", ran, e.Processed(), e.Now())
+	}
+}
+
+func TestProcessedVisibleInsideHandler(t *testing.T) {
+	e := NewEngine()
+	var during uint64
+	e.At(5, func() { during = e.Processed() })
+	e.Run()
+	if during != 1 {
+		t.Errorf("Processed inside handler = %d, want 1 (counts the running event)", during)
+	}
+}
+
 func TestRunUntilAdvancesClockWithEmptyQueue(t *testing.T) {
 	e := NewEngine()
 	e.RunUntil(500)
@@ -131,6 +172,39 @@ func TestRandomizedOrdering(t *testing.T) {
 	}
 	if len(times) != 2000 {
 		t.Errorf("executed %d events, want 2000", len(times))
+	}
+}
+
+func TestRandomizedInterleavedScheduling(t *testing.T) {
+	// Exercises the heap under DES-realistic interleaving: handlers keep
+	// scheduling new events while the queue drains, so push and pop mix
+	// instead of the push-all-then-drain pattern of TestRandomizedOrdering.
+	rng := rand.New(rand.NewSource(7))
+	e := NewEngine()
+	var times []units.Time
+	var seed func(budget int) Handler
+	seed = func(budget int) Handler {
+		return func() {
+			times = append(times, e.Now())
+			for f := 0; f < budget; f++ {
+				e.After(units.Time(rng.Intn(50)), seed(rng.Intn(budget)))
+			}
+		}
+	}
+	for i := 0; i < 64; i++ {
+		e.At(units.Time(rng.Intn(1000)), seed(3))
+	}
+	e.Run()
+	for i := 1; i < len(times); i++ {
+		if times[i] < times[i-1] {
+			t.Fatalf("time went backwards at %d: %v < %v", i, times[i], times[i-1])
+		}
+	}
+	if uint64(len(times)) != e.Processed() {
+		t.Errorf("observed %d events, Processed() = %d", len(times), e.Processed())
+	}
+	if e.Pending() != 0 {
+		t.Errorf("Pending = %d after Run, want 0", e.Pending())
 	}
 }
 

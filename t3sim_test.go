@@ -2,6 +2,7 @@ package t3sim_test
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"t3sim"
@@ -261,5 +262,36 @@ func TestPublicAPITracker(t *testing.T) {
 	}
 	if _, ok := tbl.MarkReady(id); !ok {
 		t.Error("command not found")
+	}
+}
+
+// TestPublicAPIEvaluateAll exercises the parallel orchestration surface: the
+// facade evaluator fans cases out over a worker pool and returns the same
+// results Evaluate produces one at a time, in input order.
+func TestPublicAPIEvaluateAll(t *testing.T) {
+	ev, err := t3sim.NewEvaluator(t3sim.DefaultExperimentSetup())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev.Parallelism = 2
+	cases := t3sim.SmallModelCases()[:4]
+	rows, err := ev.EvaluateAll(cases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(cases) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(cases))
+	}
+	for i, c := range cases {
+		r, err := ev.Evaluate(c) // memoized: must be the identical result
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(rows[i], r) {
+			t.Errorf("%s: EvaluateAll row differs from Evaluate", c)
+		}
+		if rows[i].SpeedupT3MCA() < 1.0 {
+			t.Errorf("%s: T3-MCA speedup %.2f < 1", c, rows[i].SpeedupT3MCA())
+		}
 	}
 }
