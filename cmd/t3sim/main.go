@@ -8,6 +8,11 @@
 //	t3sim -exp fig16 -json    # machine-readable rows (times in picoseconds)
 //	t3sim -list               # available experiments
 //
+// Observability (see internal/metrics): -timeline out.json records every
+// simulation's spans and instants as a Chrome trace-event file loadable at
+// https://ui.perfetto.dev, and -metrics out.json dumps the final counter and
+// gauge values. Both files are deterministic at any -j.
+//
 // Every simulation is deterministic and owns a private engine, so -j only
 // changes scheduling, never results: `-exp all -j N` output is byte-identical
 // to `-j 1`, and experiments always print in their fixed catalogue order.
@@ -22,6 +27,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -75,6 +81,22 @@ func (c *context) evaluator() (*t3sim.Evaluator, error) {
 
 // text adapts a string-producing experiment.
 func text(s string) (renderable, error) { return textResult{Text: s}, nil }
+
+// writeExport writes one metrics exporter's output to path; "" skips.
+func writeExport(path string, write func(io.Writer) error) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
 
 // wrap adapts a typed result + error to the renderable interface.
 func wrap[T renderable](v T, err error) (renderable, error) {
@@ -177,6 +199,10 @@ func main() {
 		"max concurrent simulations; 1 = fully serial; output is identical at any -j")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
+	timeline := flag.String("timeline", "",
+		"write a Perfetto-loadable trace-event timeline of the run to this JSON file")
+	metricsOut := flag.String("metrics", "",
+		"write every simulation's final counters and gauges to this JSON file")
 	flag.Parse()
 
 	if *list || *exp == "" {
@@ -198,11 +224,32 @@ func main() {
 		os.Exit(2)
 	}
 
+	// One process-wide registry collects every experiment's instruments; each
+	// simulation registers under its own scope, so the exported files are
+	// deterministic at any -j. Nil stays the zero-cost uninstrumented path.
+	var reg *t3sim.MetricsRegistry
+	if *timeline != "" || *metricsOut != "" {
+		reg = t3sim.NewMetricsRegistry()
+		if *timeline != "" {
+			reg.EnableTimeline()
+		}
+	}
+
 	// Registered before the CPU profile starts, so on exit (deferred LIFO)
 	// the CPU profile is stopped and flushed first, then the heap profile is
 	// written, then the process exits.
 	exitCode := 0
 	defer func() {
+		if reg != nil {
+			if err := writeExport(*timeline, reg.WriteTrace); err != nil {
+				fmt.Fprintf(os.Stderr, "t3sim: -timeline: %v\n", err)
+				exitCode = 1
+			}
+			if err := writeExport(*metricsOut, reg.WriteMetrics); err != nil {
+				fmt.Fprintf(os.Stderr, "t3sim: -metrics: %v\n", err)
+				exitCode = 1
+			}
+		}
 		if *memprofile != "" {
 			f, err := os.Create(*memprofile)
 			if err != nil {
@@ -232,7 +279,11 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	ctx := &context{setup: t3sim.DefaultExperimentSetup(), jobs: *jobs}
+	setup := t3sim.DefaultExperimentSetup()
+	if reg != nil {
+		setup.Metrics = reg
+	}
+	ctx := &context{setup: setup, jobs: *jobs}
 	emit := func(name string, o outcome) bool {
 		if o.err != nil {
 			fmt.Fprintf(os.Stderr, "t3sim: %s: %v\n", name, o.err)

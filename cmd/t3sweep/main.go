@@ -15,11 +15,17 @@
 // print in sweep order (cus-major, then links, then devices) and every
 // configuration owns a private simulation engine, so the CSV is
 // byte-identical at any -j.
+//
+// -timeline out.json additionally records every configuration's simulation
+// as a Perfetto-loadable Chrome trace-event file (one Perfetto process per
+// configuration), and -metrics out.json dumps the final counters and gauges;
+// both are deterministic at any -j.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strconv"
@@ -42,6 +48,10 @@ func main() {
 		hdr   = flag.Bool("header", true, "print the CSV header")
 		jobs  = flag.Int("j", runtime.GOMAXPROCS(0),
 			"max concurrent simulations; output order is identical at any -j")
+		timeline = flag.String("timeline", "",
+			"write a Perfetto-loadable trace-event timeline of the sweep to this JSON file")
+		metricsOut = flag.String("metrics", "",
+			"write every configuration's final counters and gauges to this JSON file")
 	)
 	flag.Parse()
 
@@ -75,6 +85,17 @@ func main() {
 
 	if *jobs < 1 {
 		fail(fmt.Errorf("-j %d: need at least one job", *jobs))
+	}
+
+	// One registry collects the whole sweep; every configuration registers
+	// under a scope named after its sweep index and parameters, so the
+	// exported files are deterministic at any -j.
+	var reg *t3sim.MetricsRegistry
+	if *timeline != "" || *metricsOut != "" {
+		reg = t3sim.NewMetricsRegistry()
+		if *timeline != "" {
+			reg.EnableTimeline()
+		}
 	}
 
 	// The sweep cross-product, in output order.
@@ -115,7 +136,12 @@ func main() {
 		go func() {
 			for i := range idx {
 				c := sweep[i]
-				row, err := runOne(grid, c.devices, c.link, c.cus, arbitration, collective, *arb, *coll)
+				var sink t3sim.MetricsSink
+				if reg != nil {
+					sink = reg.Scope(fmt.Sprintf("cfg%03d-dev%d-link%g-cu%d",
+						i, c.devices, c.link, c.cus))
+				}
+				row, err := runOne(grid, c.devices, c.link, c.cus, arbitration, collective, *arb, *coll, sink)
 				slots[i] <- rowResult{row: row, err: err}
 			}
 		}()
@@ -133,11 +159,38 @@ func main() {
 		}
 		fmt.Print(r.row)
 	}
+
+	if reg != nil {
+		if err := writeExport(*timeline, reg.WriteTrace); err != nil {
+			fail(fmt.Errorf("-timeline: %w", err))
+		}
+		if err := writeExport(*metricsOut, reg.WriteMetrics); err != nil {
+			fail(fmt.Errorf("-metrics: %w", err))
+		}
+	}
 }
 
-// runOne simulates one configuration and returns its CSV row.
+// writeExport writes one metrics exporter's output to path; "" skips.
+func writeExport(path string, write func(io.Writer) error) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// runOne simulates one configuration and returns its CSV row. A non-nil sink
+// receives the run's instruments (spans, counters, gauges).
 func runOne(grid t3sim.GEMMGrid, devices int, linkGBps float64, cus int,
-	arb t3sim.Arbitration, coll t3sim.FusedCollective, arbName, collName string) (string, error) {
+	arb t3sim.Arbitration, coll t3sim.FusedCollective, arbName, collName string,
+	sink t3sim.MetricsSink) (string, error) {
 	gpu := t3sim.DefaultGPUConfig()
 	gpu.CUs = cus
 	link := t3sim.DefaultLinkConfig()
@@ -152,6 +205,7 @@ func runOne(grid t3sim.GEMMGrid, devices int, linkGBps float64, cus int,
 		Grid:        grid,
 		Collective:  coll,
 		Arbitration: arb,
+		Metrics:     sink,
 	}
 	var (
 		res t3sim.FusedResult

@@ -5,6 +5,7 @@ import (
 
 	"t3sim/internal/interconnect"
 	"t3sim/internal/memory"
+	"t3sim/internal/metrics"
 	"t3sim/internal/sim"
 	"t3sim/internal/units"
 )
@@ -36,6 +37,11 @@ type Options struct {
 	NMC bool
 	// Stream selects the memory-controller stream the kernel's accesses use.
 	Stream memory.Stream
+	// Metrics, if non-nil, receives a "collective" timeline track with one
+	// span per pipelined block (reads through wire delivery), staging
+	// instants at step boundaries, and block/byte counters. Nil costs
+	// nothing.
+	Metrics metrics.Sink
 }
 
 // Validate reports whether the options are usable.
@@ -105,6 +111,10 @@ type run struct {
 	cuFree   []units.Time  // per-device CU pacer
 	arrivals map[[2]int]*sim.Fence
 	done     *sim.Fence
+
+	mtrack     *metrics.Track   // "collective" timeline (nil-safe)
+	mBlocks    *metrics.Counter // pipelined blocks pushed over the wire
+	mLinkBytes *metrics.Counter // bytes handed to ring links
 }
 
 func newRun(eng *sim.Engine, o Options, reduce bool, onDone sim.Handler) (*run, error) {
@@ -115,6 +125,11 @@ func newRun(eng *sim.Engine, o Options, reduce bool, onDone sim.Handler) (*run, 
 	r.chunks = chunkSizes(o.TotalBytes, r.n)
 	r.cuFree = make([]units.Time, r.n)
 	r.done = sim.NewFence(r.n, onDone) // one completion per device
+	if m := o.Metrics; m != nil {
+		r.mtrack = m.Track("collective")
+		r.mBlocks = m.Counter("collective.blocks_sent")
+		r.mLinkBytes = m.Counter("collective.link_bytes")
+	}
 
 	// Arrival fences for every (device, step) are registered up front: a
 	// fast neighbor may deliver step s+1 blocks while this device is still
@@ -125,6 +140,9 @@ func newRun(eng *sim.Engine, o Options, reduce bool, onDone sim.Handler) (*run, 
 			d, s := d, s
 			inBlocks := len(splitBlocks(r.chunks[r.outChunk(d, s+1)], o.BlockBytes))
 			r.arrivals[[2]int{d, s}] = sim.NewFence(inBlocks, func() {
+				if r.mtrack != nil {
+					r.mtrack.Instant(fmt.Sprintf("dev%d.step%d.staged", d, s), eng.Now())
+				}
 				if s < r.n-2 {
 					r.sendStep(d, s+1)
 					return
@@ -182,11 +200,19 @@ func (r *run) send(d, s int, block units.Bytes) {
 	if r.reduce && s > 0 && !o.NMC {
 		reads, touches = 2, 3 // + staged copy read and the reduce
 	}
+	start := r.eng.Now()
 	fence := sim.NewFence(reads, func() {
 		at := r.pace(d, touches, block)
 		r.eng.At(at, func() {
 			link := o.Ring.ForwardLink(d)
-			link.Send(block, func() { r.receive(o.Ring.Next(d), s, block) })
+			link.Send(block, func() {
+				r.mBlocks.Inc()
+				r.mLinkBytes.Add(int64(block))
+				if r.mtrack != nil {
+					r.mtrack.Span(fmt.Sprintf("dev%d.step%d.block", d, s), start, r.eng.Now())
+				}
+				r.receive(o.Ring.Next(d), s, block)
+			})
 		})
 	})
 	for i := 0; i < reads; i++ {

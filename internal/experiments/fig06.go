@@ -70,7 +70,7 @@ func Fig6(ev *Evaluator) (*Fig6Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		g80, _, err := ev.isolatedGEMMOnCUs(sl, false, 80)
+		g80, _, err := ev.isolatedGEMMOnCUs(sl, false, 80, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -86,7 +86,7 @@ func Fig6(ev *Evaluator) (*Fig6Result, error) {
 				row.GEMMSlowdown, row.ARSlowdown = 1, 1
 				row.PotentialSpeedup = float64(g80+ar80) / float64(maxTime(g80, ar80))
 			} else {
-				g, _, err := ev.isolatedGEMMOnCUs(sl, false, split.GEMMCUs)
+				g, _, err := ev.isolatedGEMMOnCUs(sl, false, split.GEMMCUs, nil)
 				if err != nil {
 					return nil, err
 				}

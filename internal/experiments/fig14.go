@@ -6,6 +6,7 @@ import (
 	"t3sim/internal/collective"
 	"t3sim/internal/interconnect"
 	"t3sim/internal/memory"
+	"t3sim/internal/metrics"
 	"t3sim/internal/sim"
 	"t3sim/internal/stats"
 	"t3sim/internal/units"
@@ -76,13 +77,26 @@ func Fig14(setup Setup) (*Fig14Result, error) {
 // runTimedRS runs one timed multi-GPU reduce-scatter to completion.
 func runTimedRS(setup Setup, devices int, size units.Bytes) (units.Time, error) {
 	eng := sim.NewEngine()
+	// One scope per sweep point keeps the N memory systems' counters and the
+	// collective track distinct across sizes.
+	var sink metrics.Sink
+	if m := setup.Metrics; m != nil {
+		sink = m.Scope(fmt.Sprintf("fig14/rs-%s", size))
+	}
 	ring, err := interconnect.NewRing(eng, devices, setup.Link)
 	if err != nil {
 		return 0, err
 	}
+	if sink != nil {
+		ring.AttachMetrics(sink)
+	}
 	devs := make([]*collective.Device, devices)
 	for i := range devs {
-		mc, err := memory.NewController(eng, setup.Memory, memory.ComputeFirst{})
+		memCfg := setup.Memory
+		if sink != nil {
+			memCfg.Metrics = sink.Scope(fmt.Sprintf("dev%d", i))
+		}
+		mc, err := memory.NewController(eng, memCfg, memory.ComputeFirst{})
 		if err != nil {
 			return 0, err
 		}
@@ -97,6 +111,7 @@ func runTimedRS(setup Setup, devices int, size units.Bytes) (units.Time, error) 
 		CUs:               setup.CollectiveCUs,
 		PerCUMemBandwidth: setup.PerCUMemBandwidth,
 		Stream:            memory.StreamComm,
+		Metrics:           sink,
 	}, func() { done = eng.Now() })
 	if err != nil {
 		return 0, err

@@ -5,6 +5,7 @@ import (
 
 	"t3sim/internal/gpu"
 	"t3sim/internal/memory"
+	"t3sim/internal/metrics"
 	"t3sim/internal/sim"
 	"t3sim/internal/t3core"
 	"t3sim/internal/trace"
@@ -41,18 +42,29 @@ func Fig17(setup Setup) (*Fig17Result, error) {
 	bucket := 20 * units.Microsecond
 	res := &Fig17Result{Case: c, Bucket: bucket}
 
+	// Both runs get their own metrics scope (nil sinks pass through), so the
+	// Figure 17 trace series ride along in a -metrics export and the runs
+	// appear as separate Perfetto processes.
+	var baseSink, t3Sink metrics.Sink
+	if m := setup.Metrics; m != nil {
+		baseSink = m.Scope("fig17/baseline")
+		t3Sink = m.Scope("fig17/t3")
+	}
+
 	// Baseline: isolated GEMM with plain local writes.
-	baseTrace, err := trace.New(bucket)
+	baseTrace, err := trace.NewRegistered(baseSink, bucket)
 	if err != nil {
 		return nil, err
 	}
 	eng := sim.NewEngine()
-	mc, err := memory.NewController(eng, setup.Memory, memory.ComputeFirst{})
+	memCfg := setup.Memory
+	memCfg.Metrics = baseSink
+	mc, err := memory.NewController(eng, memCfg, memory.ComputeFirst{})
 	if err != nil {
 		return nil, err
 	}
 	mc.SetObserver(baseTrace)
-	k := &gpu.GEMMKernel{Eng: eng, Mem: mc, GPU: setup.GPU, Grid: sl.Grid}
+	k := &gpu.GEMMKernel{Eng: eng, Mem: mc, GPU: setup.GPU, Grid: sl.Grid, Metrics: baseSink}
 	if err := k.Start(nil); err != nil {
 		return nil, err
 	}
@@ -61,7 +73,7 @@ func Fig17(setup Setup) (*Fig17Result, error) {
 	res.PeakBaseline = baseTrace.PeakBucket()
 
 	// T3: fused GEMM-RS with the overlapped communication traffic.
-	t3Trace, err := trace.New(bucket)
+	t3Trace, err := trace.NewRegistered(t3Sink, bucket)
 	if err != nil {
 		return nil, err
 	}
@@ -75,6 +87,7 @@ func Fig17(setup Setup) (*Fig17Result, error) {
 		Collective:  t3core.RingReduceScatter,
 		Arbitration: t3core.ArbRoundRobin,
 		Observer:    t3Trace,
+		Metrics:     t3Sink,
 	})
 	if err != nil {
 		return nil, err

@@ -64,7 +64,7 @@ func (res *GenerationResult) addModel(ev *Evaluator, hw transformer.HW, m transf
 			if err != nil {
 				return err
 			}
-			gemv, _, err := ev.isolatedGEMM(sl, false)
+			gemv, _, err := ev.isolatedGEMM(sl, false, nil)
 			if err != nil {
 				return err
 			}

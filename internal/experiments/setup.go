@@ -10,6 +10,7 @@ import (
 	"t3sim/internal/gpu"
 	"t3sim/internal/interconnect"
 	"t3sim/internal/memory"
+	"t3sim/internal/metrics"
 	"t3sim/internal/t3core"
 	"t3sim/internal/transformer"
 	"t3sim/internal/units"
@@ -28,6 +29,11 @@ type Setup struct {
 	CollectiveCUs int
 	// PerCUMemBandwidth bounds a kernel's CU-side memory throughput.
 	PerCUMemBandwidth units.Bandwidth
+	// Metrics, if non-nil, receives every experiment simulation's
+	// instruments, each run under its own scope (e.g. "fused-t3/<case>",
+	// "fig17/baseline"), so a single registry collects a whole experiment
+	// sweep deterministically at any -j. Nil costs nothing.
+	Metrics metrics.Sink
 }
 
 // DefaultSetup mirrors Table 1. The tracker keeps the paper's 256 sets but

@@ -8,6 +8,7 @@ import (
 	"t3sim/internal/collective"
 	"t3sim/internal/gpu"
 	"t3sim/internal/memory"
+	"t3sim/internal/metrics"
 	"t3sim/internal/sim"
 	"t3sim/internal/t3core"
 	"t3sim/internal/transformer"
@@ -234,6 +235,17 @@ func (e *Evaluator) evaluate(c SubCase) (SublayerResult, error) {
 	mcaOpts := fusedOpts
 	mcaOpts.Arbitration = t3core.ArbMCA
 
+	// Each simulation gets its own scope named only by case and scheme;
+	// combined with the memo cache (each case simulated exactly once) this
+	// keeps the registry's process set independent of worker scheduling.
+	var gemmSink metrics.Sink
+	if m := s.Metrics; m != nil {
+		key := c.String()
+		gemmSink = m.Scope("gemm/" + key)
+		fusedOpts.Metrics = m.Scope("fused-t3/" + key)
+		mcaOpts.Metrics = m.Scope("fused-t3-mca/" + key)
+	}
+
 	var (
 		gemmTime  units.Time
 		gemmReads units.Bytes
@@ -243,7 +255,7 @@ func (e *Evaluator) evaluate(c SubCase) (SublayerResult, error) {
 		mcaRes    t3core.FusedResult
 		mcaErr    error
 	)
-	runGEMM := func() { gemmTime, gemmReads, gemmErr = e.isolatedGEMM(sl, false) }
+	runGEMM := func() { gemmTime, gemmReads, gemmErr = e.isolatedGEMM(sl, false, gemmSink) }
 	runT3 := func() { t3res, t3err = t3core.RunFusedGEMMRS(fusedOpts) }
 	runMCA := func() { mcaRes, mcaErr = t3core.RunFusedGEMMRS(mcaOpts) }
 	if e.workers() == 1 {
@@ -322,15 +334,17 @@ func (e *Evaluator) evaluate(c SubCase) (SublayerResult, error) {
 }
 
 // isolatedGEMM runs the baseline GEMM alone and returns its duration and
-// DRAM read bytes. cuSplit (0 = all CUs) supports the Figure 6 study.
-func (e *Evaluator) isolatedGEMM(sl transformer.SubLayer, bypassLLC bool) (units.Time, units.Bytes, error) {
-	return e.isolatedGEMMOnCUs(sl, bypassLLC, 0)
+// DRAM read bytes. m (may be nil) collects the run's instruments.
+func (e *Evaluator) isolatedGEMM(sl transformer.SubLayer, bypassLLC bool, m metrics.Sink) (units.Time, units.Bytes, error) {
+	return e.isolatedGEMMOnCUs(sl, bypassLLC, 0, m)
 }
 
-func (e *Evaluator) isolatedGEMMOnCUs(sl transformer.SubLayer, bypassLLC bool, cus int) (units.Time, units.Bytes, error) {
+func (e *Evaluator) isolatedGEMMOnCUs(sl transformer.SubLayer, bypassLLC bool, cus int, m metrics.Sink) (units.Time, units.Bytes, error) {
 	s := e.Setup
 	eng := sim.NewEngine()
-	mc, err := memory.NewController(eng, s.Memory, memory.ComputeFirst{})
+	memCfg := s.Memory
+	memCfg.Metrics = m
+	mc, err := memory.NewController(eng, memCfg, memory.ComputeFirst{})
 	if err != nil {
 		return 0, 0, err
 	}
@@ -341,6 +355,7 @@ func (e *Evaluator) isolatedGEMMOnCUs(sl transformer.SubLayer, bypassLLC bool, c
 		Grid:              sl.Grid,
 		CUs:               cus,
 		OutputBypassesLLC: bypassLLC,
+		Metrics:           m,
 	}
 	if err := k.Start(nil); err != nil {
 		return 0, 0, err

@@ -5,6 +5,7 @@ import (
 
 	"t3sim/internal/gemm"
 	"t3sim/internal/memory"
+	"t3sim/internal/metrics"
 	"t3sim/internal/sim"
 	"t3sim/internal/units"
 )
@@ -47,6 +48,10 @@ type GEMMKernel struct {
 	// (off) is the conservative read-then-compute pipeline whose traffic
 	// shape matches Figure 17(a).
 	DoubleBuffered bool
+	// Metrics, if non-nil, receives a "gpu" timeline track with one span per
+	// stage read and compute phase plus operand/launch counters. Nil costs
+	// nothing.
+	Metrics metrics.Sink
 
 	stages     []int
 	stageReads []units.Bytes
@@ -54,6 +59,11 @@ type GEMMKernel struct {
 	computeEnd units.Time
 	finished   units.Time
 	doneFence  *sim.Fence
+
+	mtrack     *metrics.Track
+	mReadBytes *metrics.Counter
+	mWGs       *metrics.Counter
+	mStages    *metrics.Gauge
 }
 
 // Validate reports whether the kernel is runnable.
@@ -118,6 +128,13 @@ func (k *GEMMKernel) Start(onDone sim.Handler) error {
 	k.stages = k.Grid.Stages(k.GPU.StageWGs(k.cus()))
 	rm := ReadModel{Grid: k.Grid, LLC: k.GPU.LLCBytes, OutputBypassesLLC: k.OutputBypassesLLC}
 	k.stageReads = rm.StageReads(k.stages)
+	if m := k.Metrics; m != nil {
+		k.mtrack = m.Track("gpu")
+		k.mReadBytes = m.Counter("gpu.operand_read_bytes")
+		k.mWGs = m.Counter("gpu.wgs_launched")
+		k.mStages = m.Gauge("gpu.stages")
+		k.mStages.Set(int64(len(k.stages)))
+	}
 
 	k.doneFence = sim.NewFence(len(k.stages), func() {
 		k.finished = k.Eng.Now()
@@ -151,9 +168,11 @@ func (k *GEMMKernel) runPipelined() {
 		}
 		computeStart[s] = sim.NewFence(inputs, func() {
 			compute := k.GPU.ComputeTime(k.Grid.WGFLOPs()*int64(k.stages[s]), k.cus(), eff)
+			start := k.Eng.Now()
 			k.Eng.After(compute, func() {
 				k.computeEnd = k.Eng.Now()
 				wgs := k.stages[s]
+				k.noteStage(s, wgs, start)
 				if k.OnStageComputed != nil {
 					k.OnStageComputed(s, wgs)
 				}
@@ -192,8 +211,10 @@ func (k *GEMMKernel) runStage(s int) {
 		eff := gemm.Efficiency(k.Grid)
 		flops := k.Grid.WGFLOPs() * int64(wgs)
 		compute := k.GPU.ComputeTime(flops, k.cus(), eff)
+		start := k.Eng.Now()
 		k.Eng.After(compute, func() {
 			k.computeEnd = k.Eng.Now()
+			k.noteStage(s, wgs, start)
 			if k.OnStageComputed != nil {
 				k.OnStageComputed(s, wgs)
 			}
@@ -208,6 +229,15 @@ func (k *GEMMKernel) runStage(s int) {
 	})
 }
 
+// noteStage records one stage's compute span and WG-wave counters (no-op
+// without a metrics sink).
+func (k *GEMMKernel) noteStage(s, wgs int, start units.Time) {
+	if k.mtrack != nil {
+		k.mtrack.Span(fmt.Sprintf("stage%d.compute", s), start, k.Eng.Now())
+	}
+	k.mWGs.Add(int64(wgs))
+}
+
 // issueReads fetches the stage's DRAM-visible operand bytes on the compute
 // stream; LLC hits cost nothing.
 func (k *GEMMKernel) issueReads(s int, onDone sim.Handler) {
@@ -215,6 +245,16 @@ func (k *GEMMKernel) issueReads(s int, onDone sim.Handler) {
 	if bytes <= 0 {
 		onDone()
 		return
+	}
+	k.mReadBytes.Add(int64(bytes))
+	if k.mtrack != nil {
+		start := k.Eng.Now()
+		name := fmt.Sprintf("stage%d.read", s)
+		inner := onDone
+		onDone = func() {
+			k.mtrack.Span(name, start, k.Eng.Now())
+			inner()
+		}
 	}
 	// A kernel confined to few CUs also sustains less read throughput; model
 	// this as issuing the stage's reads no faster than the CU-side rate.

@@ -8,6 +8,7 @@ package interconnect
 import (
 	"fmt"
 
+	"t3sim/internal/metrics"
 	"t3sim/internal/sim"
 	"t3sim/internal/units"
 )
@@ -56,6 +57,11 @@ type Link struct {
 
 	busyUntil units.Time
 	sentBytes units.Bytes
+
+	// Instrument handles (nil-safe; installed by AttachMetrics).
+	mtrack *metrics.Track   // one span per Send, serialization window
+	mSent  *metrics.Counter // cumulative bytes accepted
+	mBusy  *metrics.Counter // picoseconds of serializer occupancy
 }
 
 // NewLink returns an idle link.
@@ -64,6 +70,20 @@ func NewLink(eng *sim.Engine, cfg Config) (*Link, error) {
 		return nil, err
 	}
 	return &Link{eng: eng, cfg: cfg}, nil
+}
+
+// AttachMetrics registers the link's observability instruments under the
+// given name (e.g. "fwd0"): counters "interconnect.<name>.sent_bytes" and
+// "interconnect.<name>.busy_ps", and a timeline track "link.<name>" with one
+// span per Send covering its serialization window. A nil sink detaches.
+func (l *Link) AttachMetrics(m metrics.Sink, name string) {
+	if m == nil {
+		l.mtrack, l.mSent, l.mBusy = nil, nil, nil
+		return
+	}
+	l.mtrack = m.Track("link." + name)
+	l.mSent = m.Counter("interconnect." + name + ".sent_bytes")
+	l.mBusy = m.Counter("interconnect." + name + ".busy_ps")
 }
 
 // Send queues a transfer of n bytes. onDelivered (may be nil) runs when the
@@ -85,6 +105,7 @@ func (l *Link) SendWith(n units.Bytes, onPacket func(units.Bytes), onDelivered s
 	if l.busyUntil < now {
 		l.busyUntil = now
 	}
+	serializeStart := l.busyUntil
 	l.sentBytes += n
 	remaining := n
 	for {
@@ -104,8 +125,13 @@ func (l *Link) SendWith(n units.Bytes, onPacket func(units.Bytes), onDelivered s
 			if onDelivered != nil {
 				l.eng.At(deliver, onDelivered)
 			}
-			return
+			break
 		}
+	}
+	l.mSent.Add(int64(n))
+	l.mBusy.Add(int64(l.busyUntil - serializeStart))
+	if l.mtrack != nil && l.busyUntil > serializeStart {
+		l.mtrack.Span("send", serializeStart, l.busyUntil)
 	}
 }
 

@@ -3,6 +3,7 @@ package interconnect
 import (
 	"fmt"
 
+	"t3sim/internal/metrics"
 	"t3sim/internal/sim"
 )
 
@@ -41,6 +42,15 @@ func NewRing(eng *sim.Engine, n int, cfg Config) (*Ring, error) {
 		r.backward[i] = bl
 	}
 	return r, nil
+}
+
+// AttachMetrics registers every ring link's instruments on m: forward links
+// as "fwd<i>", backward links as "bwd<i>" (see Link.AttachMetrics).
+func (r *Ring) AttachMetrics(m metrics.Sink) {
+	for i := 0; i < r.n; i++ {
+		r.forward[i].AttachMetrics(m, fmt.Sprintf("fwd%d", i))
+		r.backward[i].AttachMetrics(m, fmt.Sprintf("bwd%d", i))
+	}
 }
 
 // Devices returns the number of devices on the ring.

@@ -1,6 +1,7 @@
 package memory
 
 import (
+	"t3sim/internal/metrics"
 	"t3sim/internal/units"
 )
 
@@ -22,6 +23,12 @@ type channel struct {
 	// occupancy statistics for the MCA monitor window
 	occSamples int64
 	occSum     int64
+
+	// Per-channel instrument handles (nil-safe; nil without a metrics sink).
+	mBytes    [3][2]*metrics.Counter // serviced bytes by [kind][stream]
+	mBusy     *metrics.Counter       // picoseconds the service stage was occupied
+	mIssued   Stream                 // stream of the last DRAM-queue issue
+	mAnyIssue bool                   // whether mIssued is meaningful yet
 }
 
 // enqueue places a request on its stream queue and kicks arbitration.
@@ -52,6 +59,11 @@ func (ch *channel) arbitrate() {
 		if s == StreamComm {
 			ch.lastComm = ch.ctrl.eng.Now()
 		}
+		ch.ctrl.mIssues[s].Inc()
+		if ch.mAnyIssue && ch.mIssued != s {
+			ch.ctrl.mSwitches.Inc()
+		}
+		ch.mIssued, ch.mAnyIssue = s, true
 		ch.ctrl.notifyEnqueue(r)
 	}
 	ch.service()
@@ -80,6 +92,8 @@ func (ch *channel) service() {
 	}
 	ch.sampleOccupancy()
 	ch.ctrl.counters.add(r.Kind, r.Stream, r.Bytes, ch.ctrl.eng.Now()-r.enqueuedAt)
+	ch.mBytes[r.Kind][r.Stream].Add(int64(r.Bytes))
+	ch.mBusy.Add(int64(t))
 	ch.ctrl.eng.After(t, func() {
 		ch.busy = false
 		ch.inflightByStream[r.Stream]--

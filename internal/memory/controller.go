@@ -3,6 +3,7 @@ package memory
 import (
 	"fmt"
 
+	"t3sim/internal/metrics"
 	"t3sim/internal/sim"
 	"t3sim/internal/units"
 )
@@ -37,6 +38,20 @@ type Controller struct {
 
 	idleWaiters   []idleWaiter
 	monitorActive bool
+
+	// Observability handles (all nil-safe; nil when Config.Metrics is nil).
+	mtrack     *metrics.Track      // "memory" timeline: one span per Transfer
+	mIssues    [2]*metrics.Counter // per-stream DRAM-queue issues
+	mSwitches  *metrics.Counter    // arbitration stream switches
+	mThreshold *metrics.Gauge      // calibrated MCA occupancy threshold
+}
+
+// transferSpanName labels Transfer spans on the "memory" timeline track by
+// [kind][stream], e.g. "update/comm" for an incoming NMC reduction.
+var transferSpanName = [3][2]string{
+	Read:   {StreamCompute: "read/compute", StreamComm: "read/comm"},
+	Write:  {StreamCompute: "write/compute", StreamComm: "write/comm"},
+	Update: {StreamCompute: "update/compute", StreamComm: "update/comm"},
 }
 
 type idleWaiter struct {
@@ -62,6 +77,21 @@ func NewController(eng *sim.Engine, cfg Config, arb Arbiter) (*Controller, error
 			ch.banks = newBankTimer(*cfg.Banks)
 		}
 		c.channels[i] = ch
+	}
+	if m := cfg.Metrics; m != nil {
+		c.mtrack = m.Track("memory")
+		c.mIssues[StreamCompute] = m.Counter("memory.arb.compute_issues")
+		c.mIssues[StreamComm] = m.Counter("memory.arb.comm_issues")
+		c.mSwitches = m.Counter("memory.arb.stream_switches")
+		c.mThreshold = m.Gauge("memory.mca.threshold")
+		for i, ch := range c.channels {
+			for k := Read; k <= Update; k++ {
+				for s := StreamCompute; s < numStreams; s++ {
+					ch.mBytes[k][s] = m.Counter(fmt.Sprintf("memory.chan%d.%s.%s_bytes", i, s, k))
+				}
+			}
+			ch.mBusy = m.Counter(fmt.Sprintf("memory.chan%d.busy_ps", i))
+		}
 	}
 	return c, nil
 }
@@ -101,6 +131,17 @@ func (c *Controller) Transfer(kind AccessKind, stream Stream, total units.Bytes,
 			onDone()
 		}
 		return
+	}
+	if c.mtrack != nil {
+		start := c.eng.Now()
+		name := transferSpanName[kind][stream]
+		inner := onDone
+		onDone = func() {
+			c.mtrack.Span(name, start, c.eng.Now())
+			if inner != nil {
+				inner()
+			}
+		}
 	}
 	g := c.cfg.RequestGranularity
 	n := int(units.CeilDiv(int64(total), int64(g)))
@@ -180,10 +221,12 @@ func (c *Controller) EndMonitor() {
 	}
 	if samples == 0 {
 		mca.SetIntensity(0)
-		return
+	} else {
+		mean := float64(sum) / float64(samples)
+		mca.SetIntensity(mean / float64(c.cfg.QueueDepth))
 	}
-	mean := float64(sum) / float64(samples)
-	mca.SetIntensity(mean / float64(c.cfg.QueueDepth))
+	c.mThreshold.Set(int64(mca.Threshold()))
+	c.mtrack.Instant("mca-window-end", c.eng.Now())
 }
 
 func (c *Controller) notifyEnqueue(r *Request) {

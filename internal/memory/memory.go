@@ -14,6 +14,7 @@ package memory
 import (
 	"fmt"
 
+	"t3sim/internal/metrics"
 	"t3sim/internal/units"
 )
 
@@ -111,6 +112,12 @@ type Config struct {
 	// with the bank-group-level timing model (column bursts spaced by
 	// CCDL/CCDWL, row reopenings). See BankConfig.
 	Banks *BankConfig
+	// Metrics, if non-nil, is where the controller registers its
+	// observability instruments: per-channel traffic counters
+	// ("memory.chan0.comm.read_bytes"), arbitration counters, the MCA
+	// threshold gauge, and a "memory" timeline track with one span per
+	// Transfer. A nil sink records nothing and costs nothing.
+	Metrics metrics.Sink
 }
 
 // DefaultConfig mirrors Table 1 of the paper.

@@ -1,0 +1,44 @@
+package metrics
+
+import (
+	"testing"
+
+	"t3sim/internal/units"
+)
+
+// BenchmarkNilHandles measures the uninstrumented fast path: every model
+// hot-path touches its instrument handles unconditionally, so with no sink
+// attached these nil-receiver calls are the entire metrics overhead. Run
+// with -benchmem: the report must show 0 B/op, 0 allocs/op.
+func BenchmarkNilHandles(b *testing.B) {
+	var c *Counter
+	var tr *Track
+	var s *TimeSeries
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+		tr.Span("span", 0, 1)
+		s.Add(0, 1)
+	}
+}
+
+// BenchmarkLiveCounter is the attached-mode counterpoint: one atomic add.
+func BenchmarkLiveCounter(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("bench.counter")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+// BenchmarkLiveSpan measures timeline span recording (attached mode).
+func BenchmarkLiveSpan(b *testing.B) {
+	r := NewRegistry()
+	r.EnableTimeline()
+	tr := r.Track("bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Span("span", units.Time(i), units.Time(i+1))
+	}
+}

@@ -1,0 +1,152 @@
+package metrics
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"t3sim/internal/units"
+)
+
+// Export formats. Both writers produce deterministic bytes: instruments
+// are sorted by name, timeline processes are sorted by scope name and
+// renumbered at export time, and within a process tracks and events keep
+// their (single-goroutine, hence deterministic) recording order — so the
+// output is byte-identical no matter how many worker goroutines recorded
+// concurrently (-j).
+
+// WriteMetrics renders every registered counter, gauge and time series as
+// a stable JSON document:
+//
+//	{
+//	  "counters": {"memory.comm.read_bytes": 123, ...},
+//	  "gauges":   {"t3core.tracker.max_live": 42, ...},
+//	  "series":   {"memory.traffic.comm_read": {"bucket_ps": 1000, "values": [..]}, ...}
+//	}
+func (r *Registry) WriteMetrics(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	bw := bufio.NewWriter(w)
+
+	bw.WriteString("{\n  \"counters\": {")
+	writeKV(bw, sortedKeys(r.counters), func(k string) string {
+		return fmt.Sprintf("%d", r.counters[k].Value())
+	})
+	bw.WriteString("},\n  \"gauges\": {")
+	writeKV(bw, sortedKeys(r.gauges), func(k string) string {
+		return fmt.Sprintf("%d", r.gauges[k].Value())
+	})
+	bw.WriteString("},\n  \"series\": {")
+	writeKV(bw, sortedKeys(r.series), func(k string) string {
+		s := r.series[k]
+		buf := fmt.Sprintf("{\"bucket_ps\": %d, \"values\": [", int64(s.width))
+		for i, v := range s.buckets {
+			if i > 0 {
+				buf += ", "
+			}
+			buf += fmt.Sprintf("%d", v)
+		}
+		return buf + "]}"
+	})
+	bw.WriteString("}\n}\n")
+	return bw.Flush()
+}
+
+// writeKV renders sorted "key": value pairs with stable layout.
+func writeKV(bw *bufio.Writer, keys []string, value func(string) string) {
+	for i, k := range keys {
+		if i > 0 {
+			bw.WriteString(",")
+		}
+		bw.WriteString("\n    ")
+		bw.Write(jsonString(k))
+		bw.WriteString(": ")
+		bw.WriteString(value(k))
+	}
+	if len(keys) > 0 {
+		bw.WriteString("\n  ")
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// WriteTrace renders the timeline in the Chrome trace-event JSON format
+// Perfetto loads (catapult "JSON Array Format" wrapped in an object).
+// Scopes become processes, tracks become threads, spans become complete
+// ("X") events and instants become thread-scoped instant ("i") events.
+// Timestamps are microseconds with picosecond precision. Open the file at
+// ui.perfetto.dev (or chrome://tracing).
+func (r *Registry) WriteTrace(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	procs := make([]*process, len(r.procList))
+	copy(procs, r.procList)
+	sort.Slice(procs, func(i, j int) bool { return procs[i].name < procs[j].name })
+
+	bw := bufio.NewWriter(w)
+	bw.WriteString("{\"displayTimeUnit\": \"ns\", \"traceEvents\": [\n")
+	first := true
+	emit := func(line string) {
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+		bw.WriteString(line)
+	}
+	for pi, p := range procs {
+		pid := pi + 1
+		pname := p.name
+		if pname == "" {
+			pname = "t3sim"
+		}
+		emit(fmt.Sprintf("{\"ph\": \"M\", \"pid\": %d, \"name\": \"process_name\", \"args\": {\"name\": %s}}",
+			pid, jsonString(pname)))
+		emit(fmt.Sprintf("{\"ph\": \"M\", \"pid\": %d, \"name\": \"process_sort_index\", \"args\": {\"sort_index\": %d}}",
+			pid, pid))
+		for ti, t := range p.tracks {
+			tid := ti + 1
+			emit(fmt.Sprintf("{\"ph\": \"M\", \"pid\": %d, \"tid\": %d, \"name\": \"thread_name\", \"args\": {\"name\": %s}}",
+				pid, tid, jsonString(t.name)))
+			for _, e := range t.events {
+				switch e.phase {
+				case phaseSpan:
+					emit(fmt.Sprintf("{\"ph\": \"X\", \"pid\": %d, \"tid\": %d, \"ts\": %s, \"dur\": %s, \"name\": %s}",
+						pid, tid, psToMicros(e.start), psToMicros(e.dur), jsonString(e.name)))
+				case phaseInstant:
+					emit(fmt.Sprintf("{\"ph\": \"i\", \"pid\": %d, \"tid\": %d, \"ts\": %s, \"s\": \"t\", \"name\": %s}",
+						pid, tid, psToMicros(e.start), jsonString(e.name)))
+				}
+			}
+		}
+	}
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}
+
+// psToMicros formats a picosecond quantity as decimal microseconds without
+// any floating-point rounding: integer microseconds, then the six-digit
+// sub-microsecond remainder (1 ps = 0.000001 µs).
+func psToMicros(t units.Time) string {
+	const psPerMicro = int64(units.Microsecond)
+	return fmt.Sprintf("%d.%06d", int64(t)/psPerMicro, int64(t)%psPerMicro)
+}
+
+// jsonString renders s as a JSON string literal. encoding/json string
+// escaping is deterministic.
+func jsonString(s string) []byte {
+	b, err := json.Marshal(s)
+	if err != nil { // cannot happen for a string
+		panic(err)
+	}
+	return b
+}

@@ -1,0 +1,148 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"t3sim/internal/units"
+)
+
+// TestWriteTraceGolden pins the Perfetto exporter's exact byte output:
+// stable field ordering, exact picosecond→microsecond timestamp
+// formatting, process/track metadata. ui.perfetto.dev and chrome://tracing
+// both parse this shape.
+func TestWriteTraceGolden(t *testing.T) {
+	r := NewRegistry()
+	r.EnableTimeline()
+
+	// Registered deliberately out of name order: export sorts processes.
+	run := r.Scope("run/fc2")
+	gpu := run.Track("gpu")
+	gpu.Span("stage0.compute", 0, 1500*units.Nanosecond)
+	gpu.Span("stage1.compute", 1500*units.Nanosecond, 2*units.Microsecond)
+	mem := run.Track("memory")
+	mem.Instant("mca-window-end", 42*units.Picosecond)
+	base := r.Scope("baseline")
+	base.Track("gpu").Span("kernel", 0, units.Millisecond)
+	r.Track("root").Instant("start", 0)
+
+	var got strings.Builder
+	if err := r.WriteTrace(&got); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"displayTimeUnit": "ns", "traceEvents": [
+{"ph": "M", "pid": 1, "name": "process_name", "args": {"name": "t3sim"}},
+{"ph": "M", "pid": 1, "name": "process_sort_index", "args": {"sort_index": 1}},
+{"ph": "M", "pid": 1, "tid": 1, "name": "thread_name", "args": {"name": "root"}},
+{"ph": "i", "pid": 1, "tid": 1, "ts": 0.000000, "s": "t", "name": "start"},
+{"ph": "M", "pid": 2, "name": "process_name", "args": {"name": "baseline"}},
+{"ph": "M", "pid": 2, "name": "process_sort_index", "args": {"sort_index": 2}},
+{"ph": "M", "pid": 2, "tid": 1, "name": "thread_name", "args": {"name": "gpu"}},
+{"ph": "X", "pid": 2, "tid": 1, "ts": 0.000000, "dur": 1000.000000, "name": "kernel"},
+{"ph": "M", "pid": 3, "name": "process_name", "args": {"name": "run/fc2"}},
+{"ph": "M", "pid": 3, "name": "process_sort_index", "args": {"sort_index": 3}},
+{"ph": "M", "pid": 3, "tid": 1, "name": "thread_name", "args": {"name": "gpu"}},
+{"ph": "X", "pid": 3, "tid": 1, "ts": 0.000000, "dur": 1.500000, "name": "stage0.compute"},
+{"ph": "X", "pid": 3, "tid": 1, "ts": 1.500000, "dur": 0.500000, "name": "stage1.compute"},
+{"ph": "M", "pid": 3, "tid": 2, "name": "thread_name", "args": {"name": "memory"}},
+{"ph": "i", "pid": 3, "tid": 2, "ts": 0.000042, "s": "t", "name": "mca-window-end"}
+]}
+`
+	if got.String() != want {
+		t.Errorf("trace output:\n%s\nwant:\n%s", got.String(), want)
+	}
+
+	// The golden bytes must also be valid JSON with the documented shape.
+	var doc struct {
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+		TraceEvents     []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(got.String()), &doc); err != nil {
+		t.Fatalf("exporter output is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ns" || len(doc.TraceEvents) != 15 {
+		t.Errorf("parsed %d events, displayTimeUnit %q", len(doc.TraceEvents), doc.DisplayTimeUnit)
+	}
+}
+
+// TestTraceDeterministicUnderConcurrency is the "-j" determinism guard:
+// scopes recorded from racing goroutines in scrambled order must export
+// byte-identically to a serial recording, because the exporter sorts
+// processes by name and renumbers pids/tids.
+func TestTraceDeterministicUnderConcurrency(t *testing.T) {
+	record := func(sink Sink, run int) {
+		sc := sink.Scope(fmt.Sprintf("case%02d", run))
+		tr := sc.Track("gpu")
+		m := sc.Track("memory")
+		for i := 0; i < 10; i++ {
+			at := units.Time(run*1000 + i*10)
+			tr.Span(fmt.Sprintf("stage%d", i), at, at+5)
+			m.Instant("issue", at+1)
+		}
+		sc.Counter("bytes").Add(int64(run))
+	}
+
+	serial := NewRegistry()
+	serial.EnableTimeline()
+	for run := 0; run < 16; run++ {
+		record(serial, run)
+	}
+
+	concurrent := NewRegistry()
+	concurrent.EnableTimeline()
+	order := rand.New(rand.NewSource(1)).Perm(16)
+	var wg sync.WaitGroup
+	for _, run := range order {
+		wg.Add(1)
+		go func(run int) {
+			defer wg.Done()
+			record(concurrent, run)
+		}(run)
+	}
+	wg.Wait()
+
+	var a, b strings.Builder
+	if err := serial.WriteTrace(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := concurrent.WriteTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("trace export differs between serial and concurrent recording")
+	}
+
+	var am, bm strings.Builder
+	if err := serial.WriteMetrics(&am); err != nil {
+		t.Fatal(err)
+	}
+	if err := concurrent.WriteMetrics(&bm); err != nil {
+		t.Fatal(err)
+	}
+	if am.String() != bm.String() {
+		t.Error("metrics export differs between serial and concurrent recording")
+	}
+}
+
+func TestPsToMicros(t *testing.T) {
+	cases := []struct {
+		in   units.Time
+		want string
+	}{
+		{0, "0.000000"},
+		{1, "0.000001"},
+		{units.Microsecond, "1.000000"},
+		{units.Microsecond + 1, "1.000001"},
+		{units.Second, "1000000.000000"},
+		{123456789, "123.456789"},
+	}
+	for _, c := range cases {
+		if got := psToMicros(c.in); got != c.want {
+			t.Errorf("psToMicros(%d) = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"t3sim/internal/gpu"
 	"t3sim/internal/interconnect"
 	"t3sim/internal/memory"
+	"t3sim/internal/metrics"
 	"t3sim/internal/sim"
 	"t3sim/internal/units"
 )
@@ -76,6 +77,13 @@ type FusedOptions struct {
 	// (software pipelining) instead of the conservative read-then-compute
 	// stage schedule.
 	DoubleBufferedGEMM bool
+	// Metrics, if non-nil, is threaded through every model in the run: the
+	// memory controller, the producer kernel, and the ring links register
+	// their instruments on it, and the run adds a "t3core" timeline track
+	// with gemm/reduce-scatter/drain spans plus one instant per EventLog
+	// event. A nil sink records nothing and costs nothing. If
+	// Memory.Metrics is already set it wins for the controller.
+	Metrics metrics.Sink
 }
 
 // emit records an observability event when a log is attached.
@@ -168,6 +176,21 @@ type fusedRun struct {
 	ownedFence *sim.Fence
 	result     FusedResult
 	err        error
+
+	mtrack   *metrics.Track   // "t3core" timeline (nil-safe)
+	mTrigger *metrics.Counter // tracker-fired DMA triggers
+	mRemote  *metrics.Counter // remote-mapped production stores
+}
+
+// emit records an observability event to the attached EventLog and mirrors
+// it onto the "t3core" timeline as a thread-scoped instant, so tracker fires
+// and DMA triggers show up in Perfetto next to the model spans.
+func (r *fusedRun) emit(kind EventKind, stage int, tile TileID) {
+	at := r.eng.Now()
+	r.o.emit(at, kind, stage, tile)
+	if r.mtrack != nil {
+		r.mtrack.Instant(kind.String(), at)
+	}
 }
 
 // RunFusedGEMMRS executes a fused GEMM→reduce-scatter and returns its
@@ -177,7 +200,15 @@ func RunFusedGEMMRS(o FusedOptions) (FusedResult, error) {
 	if err := o.Validate(); err != nil {
 		return FusedResult{}, err
 	}
+	if o.Metrics != nil && o.Memory.Metrics == nil {
+		o.Memory.Metrics = o.Metrics
+	}
 	r := &fusedRun{o: o, eng: sim.NewEngine()}
+	if m := o.Metrics; m != nil {
+		r.mtrack = m.Track("t3core")
+		r.mTrigger = m.Counter("t3core.tracker.triggers")
+		r.mRemote = m.Counter("t3core.remote_write_tiles")
+	}
 
 	arb := o.CustomArbiter
 	if arb == nil {
@@ -203,6 +234,13 @@ func RunFusedGEMMRS(o FusedOptions) (FusedResult, error) {
 		if err != nil {
 			return FusedResult{}, err
 		}
+		if o.Metrics != nil {
+			name := "fwd0"
+			if o.Collective == DirectReduceScatter {
+				name = fmt.Sprintf("link%d", i)
+			}
+			link.AttachMetrics(o.Metrics, name)
+		}
 		r.links = append(r.links, link)
 	}
 
@@ -223,13 +261,17 @@ func RunFusedGEMMRS(o FusedOptions) (FusedResult, error) {
 		Monitor:           o.Arbitration == ArbMCA,
 		WriteStage:        r.writeStage,
 		DoubleBuffered:    o.DoubleBufferedGEMM,
+		Metrics:           o.Metrics,
 		OnStageComputed: func(stage, _ int) {
-			o.emit(r.eng.Now(), EventStageComputed, stage, TileID{})
+			r.emit(EventStageComputed, stage, TileID{})
 		},
 	}
 	if err := kernel.Start(func() {
 		r.result.GEMMDone = r.eng.Now()
-		o.emit(r.eng.Now(), EventGEMMDone, 0, TileID{})
+		r.emit(EventGEMMDone, 0, TileID{})
+		if r.mtrack != nil {
+			r.mtrack.Span("gemm", 0, r.eng.Now())
+		}
 	}); err != nil {
 		return FusedResult{}, err
 	}
@@ -251,6 +293,10 @@ func RunFusedGEMMRS(o FusedOptions) (FusedResult, error) {
 		r.result.MCAThreshold = mca.Threshold()
 	}
 	r.result.StageReads = kernel.StageReads()
+	if m := o.Metrics; m != nil {
+		m.Gauge("t3core.tracker.max_live").Set(int64(r.result.TrackerMaxLive))
+		m.Gauge("t3core.dma.triggered").Set(r.result.DMATriggered)
+	}
 	return r.result, nil
 }
 
@@ -324,9 +370,17 @@ func (r *fusedRun) setupTracker() error {
 	}
 	r.ownedFence = sim.NewFence(r.ownedTiles(), func() {
 		r.result.CollectiveDone = r.eng.Now()
-		r.o.emit(r.eng.Now(), EventCollectiveDone, 0, TileID{})
+		r.emit(EventCollectiveDone, 0, TileID{})
+		if r.mtrack != nil {
+			r.mtrack.Span("reduce-scatter", 0, r.eng.Now())
+		}
 		// §4.5: the communication stream drains at the kernel boundary.
-		r.mem.WhenIdle(memory.StreamComm, func() { r.result.Done = r.eng.Now() })
+		r.mem.WhenIdle(memory.StreamComm, func() {
+			r.result.Done = r.eng.Now()
+			if r.mtrack != nil {
+				r.mtrack.Span("drain", r.result.CollectiveDone, r.eng.Now())
+			}
+		})
 	})
 	return nil
 }
@@ -405,7 +459,8 @@ func (r *fusedRun) sendRemote(t int) {
 		r.sendDirect(t)
 		return
 	}
-	r.o.emit(r.eng.Now(), EventRemoteWrite, 0, r.tileIDOf(t))
+	r.mRemote.Inc()
+	r.emit(EventRemoteWrite, 0, r.tileIDOf(t))
 	r.links[0].Send(r.tileBytes, func() {
 		// Mirror: the neighbor's phase-0 store of the chunk I produce in
 		// phase 1 arrives now, as an NMC update on the comm stream.
@@ -492,7 +547,7 @@ func (r *fusedRun) onTileReady(id TileID) {
 	}
 	p := r.phaseOf(t)
 	if p == r.o.Devices-1 {
-		r.o.emit(r.eng.Now(), EventOwnedTileDone, 0, id)
+		r.emit(EventOwnedTileDone, 0, id)
 		r.ownedFence.Done()
 		return
 	}
@@ -501,7 +556,8 @@ func (r *fusedRun) onTileReady(id TileID) {
 		r.err = fmt.Errorf("t3core: tile %+v (phase %d) ready but no DMA command", id, p)
 		return
 	}
-	r.o.emit(r.eng.Now(), EventDMATriggered, 0, id)
+	r.mTrigger.Inc()
+	r.emit(EventDMATriggered, 0, id)
 	k := r.o.DMATilesPerBlock
 	if k <= 1 {
 		r.dmaSend(p, []int{t}, cmd.Bytes)

@@ -120,6 +120,9 @@ type agRun struct {
 
 func (r *agRun) run() (FusedResult, error) {
 	o := r.o
+	if o.Metrics != nil && o.Memory.Metrics == nil {
+		o.Memory.Metrics = o.Metrics
+	}
 	arb, err := newArbiter(o.Arbitration)
 	if err != nil {
 		return FusedResult{}, err
@@ -136,6 +139,7 @@ func (r *agRun) run() (FusedResult, error) {
 	if err != nil {
 		return FusedResult{}, err
 	}
+	link.AttachMetrics(o.Metrics, "fwd0")
 	r.link = link
 
 	r.tileBytes = o.Grid.WFTileBytes()
@@ -184,6 +188,7 @@ func (r *agRun) run() (FusedResult, error) {
 		Monitor:           o.Arbitration == ArbMCA,
 		WriteStage:        r.writeStage,
 		DoubleBuffered:    o.DoubleBufferedGEMM,
+		Metrics:           o.Metrics,
 	}
 	if err := kernel.Start(func() { r.result.GEMMDone = r.eng.Now() }); err != nil {
 		return FusedResult{}, err
@@ -284,6 +289,9 @@ type a2aRun struct {
 
 func (r *a2aRun) run() (FusedResult, error) {
 	o := r.o
+	if o.Metrics != nil && o.Memory.Metrics == nil {
+		o.Memory.Metrics = o.Metrics
+	}
 	arb, err := newArbiter(o.Arbitration)
 	if err != nil {
 		return FusedResult{}, err
@@ -300,6 +308,7 @@ func (r *a2aRun) run() (FusedResult, error) {
 	if err != nil {
 		return FusedResult{}, err
 	}
+	link.AttachMetrics(o.Metrics, "fwd0")
 	r.link = link
 
 	r.tileBytes = o.Grid.WFTileBytes()
@@ -327,6 +336,7 @@ func (r *a2aRun) run() (FusedResult, error) {
 		Monitor:           o.Arbitration == ArbMCA,
 		WriteStage:        r.writeStage,
 		DoubleBuffered:    o.DoubleBufferedGEMM,
+		Metrics:           o.Metrics,
 	}
 	if err := kernel.Start(func() { r.result.GEMMDone = r.eng.Now() }); err != nil {
 		return FusedResult{}, err

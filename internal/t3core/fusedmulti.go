@@ -7,6 +7,7 @@ import (
 	"t3sim/internal/gpu"
 	"t3sim/internal/interconnect"
 	"t3sim/internal/memory"
+	"t3sim/internal/metrics"
 	"t3sim/internal/sim"
 	"t3sim/internal/units"
 )
@@ -57,6 +58,7 @@ type multiDevice struct {
 	trk  *Tracker
 	dma  *DMATable
 	amap AddressMap
+	sink metrics.Sink // per-device "dev<i>" scope; nil without a run sink
 
 	phaseOfChunk []int
 	wgCursor     int
@@ -111,6 +113,9 @@ func RunFusedGEMMRSMultiDevice(o FusedOptions) (MultiDeviceResult, error) {
 	if err != nil {
 		return MultiDeviceResult{}, err
 	}
+	if o.Metrics != nil {
+		ring.AttachMetrics(o.Metrics)
+	}
 	r.ring = ring
 
 	r.allDone = sim.NewFence(n, nil)
@@ -136,6 +141,7 @@ func RunFusedGEMMRSMultiDevice(o FusedOptions) (MultiDeviceResult, error) {
 			Monitor:           o.Arbitration == ArbMCA,
 			WriteStage:        md.writeStage,
 			DoubleBuffered:    o.DoubleBufferedGEMM,
+			Metrics:           md.sink,
 		}
 		if err := kernel.Start(func() { md.gemmDone = r.eng.Now() }); err != nil {
 			return MultiDeviceResult{}, err
@@ -179,11 +185,18 @@ func (r *multiRun) newDevice(d int) (*multiDevice, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Each device gets its own "dev<i>" scope so per-channel counter names
+	// and timeline tracks stay distinct across the N memory systems.
+	var sink metrics.Sink
+	if o.Metrics != nil {
+		sink = o.Metrics.Scope(fmt.Sprintf("dev%d", d))
+		o.Memory.Metrics = sink
+	}
 	mc, err := memory.NewController(r.eng, o.Memory, arb)
 	if err != nil {
 		return nil, err
 	}
-	md := &multiDevice{id: d, run: r, mem: mc, amap: RingReduceScatterMap(d, o.Devices)}
+	md := &multiDevice{id: d, run: r, mem: mc, sink: sink, amap: RingReduceScatterMap(d, o.Devices)}
 	if err := md.amap.Validate(); err != nil {
 		return nil, err
 	}

@@ -45,6 +45,7 @@ import (
 	"t3sim/internal/gpu"
 	"t3sim/internal/interconnect"
 	"t3sim/internal/memory"
+	"t3sim/internal/metrics"
 	"t3sim/internal/t3core"
 	"t3sim/internal/transformer"
 	"t3sim/internal/units"
@@ -197,6 +198,30 @@ const (
 	EventGEMMDone       = t3core.EventGEMMDone
 	EventCollectiveDone = t3core.EventCollectiveDone
 )
+
+// Unified observability (the metrics subsystem).
+type (
+	// MetricsSink is where models register counters, gauges, series and
+	// timeline tracks; attach one via FusedOptions.Metrics or the
+	// experiment Setup. Nil sinks cost nothing.
+	MetricsSink = metrics.Sink
+	// MetricsRegistry is the root MetricsSink: it owns every instrument and
+	// exports metrics JSON (WriteMetrics) and Chrome trace-event / Perfetto
+	// timelines (WriteTrace).
+	MetricsRegistry = metrics.Registry
+	// MetricsCounter is a monotonically increasing int64 instrument.
+	MetricsCounter = metrics.Counter
+	// MetricsGauge is a last/max-value int64 instrument.
+	MetricsGauge = metrics.Gauge
+	// MetricsTimeSeries is a fixed-width bucketed int64 series.
+	MetricsTimeSeries = metrics.TimeSeries
+	// MetricsTrack is one named timeline lane of spans and instants.
+	MetricsTrack = metrics.Track
+)
+
+// NewMetricsRegistry returns an empty registry. Call EnableTimeline before
+// running to record spans; export with WriteMetrics / WriteTrace.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
 
 // MemoryAccessKind classifies DRAM requests (reads, plain stores, NMC
 // op-and-store updates).
