@@ -13,9 +13,15 @@
 // https://ui.perfetto.dev, and -metrics out.json dumps the final counter and
 // gauge values. Both files are deterministic at any -j.
 //
+// Validation (see internal/check): -check attaches the simulation invariant
+// checker to every run; any conservation/ordering/bound violation is reported
+// on stderr and fails the process.
+//
 // Every simulation is deterministic and owns a private engine, so -j only
 // changes scheduling, never results: `-exp all -j N` output is byte-identical
 // to `-j 1`, and experiments always print in their fixed catalogue order.
+// The same catalogue drives the repo's golden regression tests (TestGolden),
+// so every experiment's output here is snapshot-pinned in testdata/golden/.
 //
 // Profiling the simulator itself on the paper experiments:
 //
@@ -33,54 +39,10 @@ import (
 	"runtime/pprof"
 	"sort"
 	"strings"
-	"sync"
 	"time"
 
 	"t3sim"
 )
-
-// renderable is any experiment result that can print itself.
-type renderable interface{ Render() string }
-
-// textResult wraps plain-text results (the tables) so they fit the same
-// interface and JSON shape.
-type textResult struct {
-	Text string
-}
-
-// Render implements renderable.
-func (t textResult) Render() string { return t.Text }
-
-// experiment is one runnable unit.
-type experiment struct {
-	name string
-	desc string
-	run  func(ctx *context) (renderable, error)
-}
-
-// context shares the memoizing evaluator across experiments in one process.
-// With -j > 1 experiments run on separate goroutines; the evaluator itself
-// is safe for concurrent use and deduplicates racing case evaluations.
-type context struct {
-	setup    t3sim.ExperimentSetup
-	jobs     int
-	evalOnce sync.Once
-	ev       *t3sim.Evaluator
-	evErr    error
-}
-
-func (c *context) evaluator() (*t3sim.Evaluator, error) {
-	c.evalOnce.Do(func() {
-		c.ev, c.evErr = t3sim.NewEvaluator(c.setup)
-		if c.ev != nil {
-			c.ev.Parallelism = c.jobs
-		}
-	})
-	return c.ev, c.evErr
-}
-
-// text adapts a string-producing experiment.
-func text(s string) (renderable, error) { return textResult{Text: s}, nil }
 
 // writeExport writes one metrics exporter's output to path; "" skips.
 func writeExport(path string, write func(io.Writer) error) error {
@@ -98,70 +60,6 @@ func writeExport(path string, write func(io.Writer) error) error {
 	return f.Close()
 }
 
-// wrap adapts a typed result + error to the renderable interface.
-func wrap[T renderable](v T, err error) (renderable, error) {
-	if err != nil {
-		return nil, err
-	}
-	return v, nil
-}
-
-// withEval builds a runner that needs the shared evaluator.
-func withEval[T renderable](f func(*t3sim.Evaluator) (T, error)) func(*context) (renderable, error) {
-	return func(c *context) (renderable, error) {
-		ev, err := c.evaluator()
-		if err != nil {
-			return nil, err
-		}
-		return wrap(f(ev))
-	}
-}
-
-var experimentList = []experiment{
-	{"table1", "simulation setup (Table 1)", func(c *context) (renderable, error) {
-		return text(t3sim.Table1(c.setup))
-	}},
-	{"table2", "studied models (Table 2)", func(c *context) (renderable, error) {
-		return text(t3sim.Table2())
-	}},
-	{"table3", "qualitative comparison (Table 3)", func(c *context) (renderable, error) {
-		return text(t3sim.Table3())
-	}},
-	{"fig4", "iteration time breakdown (Figure 4)", func(c *context) (renderable, error) {
-		return wrap(t3sim.Fig4(c.setup))
-	}},
-	{"fig6", "CU-sharing study (Figure 6)", withEval(t3sim.Fig6)},
-	{"fig14", "reduce-scatter simulation validation (Figure 14)", func(c *context) (renderable, error) {
-		return wrap(t3sim.Fig14(c.setup))
-	}},
-	{"fig15", "sub-layer runtime distribution (Figure 15)", withEval(t3sim.Fig15)},
-	{"fig16", "sub-layer speedups (Figure 16)", withEval(t3sim.Fig16)},
-	{"fig16-large", "large-model sub-layer speedups (§6.4)", withEval(t3sim.Fig16Large)},
-	{"fig17", "DRAM traffic timelines (Figure 17)", func(c *context) (renderable, error) {
-		return wrap(t3sim.Fig17(c.setup))
-	}},
-	{"fig18", "DRAM access breakdown (Figure 18)", withEval(t3sim.Fig18)},
-	{"fig19", "end-to-end speedups (Figure 19)", withEval(t3sim.Fig19)},
-	{"fig19-large", "large-model end-to-end speedups (§6.4)", withEval(t3sim.Fig19Large)},
-	{"fig20", "future hardware with 2x compute (Figure 20)", withEval(t3sim.Fig20)},
-	{"generation", "token-generation phase study (§7.3)", withEval(t3sim.Generation)},
-	{"mirror", "mirror-methodology validation (§5.1.1)", func(c *context) (renderable, error) {
-		return wrap(t3sim.MirrorValidation(c.setup))
-	}},
-	{"coarse-overlap", "coarse-grained DP contention study (§3.2.2/§7.2)", func(c *context) (renderable, error) {
-		return wrap(t3sim.CoarseOverlap(c.setup))
-	}},
-	{"layer", "DES vs analytic full-layer cross-validation", func(c *context) (renderable, error) {
-		return wrap(t3sim.LayerValidation(c.setup))
-	}},
-	{"ablation-arb", "MC arbitration policy sweep (§4.5)", withEval(t3sim.AblationArbitration)},
-	{"ablation-nmc", "NMC op-and-store cost sweep (§7.4)", withEval(t3sim.AblationNMCCost)},
-	{"ablation-dma", "DMA block granularity sweep (§4.2.2)", withEval(t3sim.AblationDMABlock)},
-	{"ablation-link", "link bandwidth sweep (§7.8 multi-node regime)", withEval(t3sim.AblationLinkBandwidth)},
-	{"ablation-dram", "DRAM timing model fidelity (flat vs bank-group)", withEval(t3sim.AblationDRAMModel)},
-	{"ablation-pipeline", "producer stage schedule (read-then-compute vs double-buffered)", withEval(t3sim.AblationGEMMPipeline)},
-}
-
 // outcome is one experiment's fully rendered output, produced on a worker
 // goroutine and printed by the main goroutine in catalogue order.
 type outcome struct {
@@ -171,9 +69,9 @@ type outcome struct {
 }
 
 // render produces the exact bytes the experiment writes to stdout.
-func render(e experiment, ctx *context, asJSON bool) outcome {
+func render(e t3sim.ExperimentCatalogueEntry, runner *t3sim.ExperimentRunner, asJSON bool) outcome {
 	start := time.Now()
-	res, err := e.run(ctx)
+	res, err := e.Run(runner)
 	if err != nil {
 		return outcome{err: err, elapsed: time.Since(start)}
 	}
@@ -181,7 +79,7 @@ func render(e experiment, ctx *context, asJSON bool) outcome {
 	if asJSON {
 		enc := json.NewEncoder(&buf)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(map[string]any{"experiment": e.name, "result": res}); err != nil {
+		if err := enc.Encode(map[string]any{"experiment": e.Name, "result": res}); err != nil {
 			return outcome{err: err, elapsed: time.Since(start)}
 		}
 	} else {
@@ -197,6 +95,8 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON (times are picoseconds)")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0),
 		"max concurrent simulations; 1 = fully serial; output is identical at any -j")
+	checkRuns := flag.Bool("check", false,
+		"attach the simulation invariant checker to every run; violations fail the process")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	timeline := flag.String("timeline", "",
@@ -205,10 +105,11 @@ func main() {
 		"write every simulation's final counters and gauges to this JSON file")
 	flag.Parse()
 
+	catalogue := t3sim.ExperimentCatalogue()
 	if *list || *exp == "" {
-		names := make([]string, 0, len(experimentList))
-		for _, e := range experimentList {
-			names = append(names, fmt.Sprintf("  %-14s %s", e.name, e.desc))
+		names := make([]string, 0, len(catalogue))
+		for _, e := range catalogue {
+			names = append(names, fmt.Sprintf("  %-14s %s", e.Name, e.Desc))
 		}
 		sort.Strings(names)
 		fmt.Println("usage: t3sim -exp <name>\n\nexperiments:")
@@ -234,12 +135,25 @@ func main() {
 			reg.EnableTimeline()
 		}
 	}
+	// One process-wide checker: every simulation in every experiment shares
+	// it, and violations are reported together after the run. Nil stays the
+	// zero-cost unchecked path.
+	var checker *t3sim.Checker
+	if *checkRuns {
+		checker = t3sim.NewChecker()
+	}
 
 	// Registered before the CPU profile starts, so on exit (deferred LIFO)
 	// the CPU profile is stopped and flushed first, then the heap profile is
 	// written, then the process exits.
 	exitCode := 0
 	defer func() {
+		if checker != nil {
+			for _, v := range checker.Violations() {
+				fmt.Fprintf(os.Stderr, "t3sim: -check: %s\n", v)
+				exitCode = 1
+			}
+		}
 		if reg != nil {
 			if err := writeExport(*timeline, reg.WriteTrace); err != nil {
 				fmt.Fprintf(os.Stderr, "t3sim: -timeline: %v\n", err)
@@ -283,7 +197,8 @@ func main() {
 	if reg != nil {
 		setup.Metrics = reg
 	}
-	ctx := &context{setup: setup, jobs: *jobs}
+	setup.Check = checker
+	runner := t3sim.NewExperimentRunner(setup, *jobs)
 	emit := func(name string, o outcome) bool {
 		if o.err != nil {
 			fmt.Fprintf(os.Stderr, "t3sim: %s: %v\n", name, o.err)
@@ -303,40 +218,38 @@ func main() {
 		// goroutine drains the slots sequentially, so the byte stream never
 		// depends on scheduling. (Per-experiment wall-clocks under -time do
 		// vary with -j; they measure concurrent execution.)
-		slots := make([]chan outcome, len(experimentList))
+		slots := make([]chan outcome, len(catalogue))
 		for i := range slots {
 			slots[i] = make(chan outcome, 1)
 		}
 		idx := make(chan int)
 		workers := *jobs
-		if workers > len(experimentList) {
-			workers = len(experimentList)
+		if workers > len(catalogue) {
+			workers = len(catalogue)
 		}
 		for w := 0; w < workers; w++ {
 			go func() {
 				for i := range idx {
-					slots[i] <- render(experimentList[i], ctx, *asJSON)
+					slots[i] <- render(catalogue[i], runner, *asJSON)
 				}
 			}()
 		}
 		go func() {
-			for i := range experimentList {
+			for i := range catalogue {
 				idx <- i
 			}
 			close(idx)
 		}()
-		for i, e := range experimentList {
-			if !emit(e.name, <-slots[i]) {
+		for i, e := range catalogue {
+			if !emit(e.Name, <-slots[i]) {
 				return
 			}
 		}
 		return
 	}
-	for _, e := range experimentList {
-		if e.name == *exp {
-			emit(e.name, render(e, ctx, *asJSON))
-			return
-		}
+	if e, ok := t3sim.ExperimentByName(*exp); ok {
+		emit(e.Name, render(e, runner, *asJSON))
+		return
 	}
 	fmt.Fprintf(os.Stderr, "t3sim: unknown experiment %q (use -list)\n", *exp)
 	exitCode = 2

@@ -48,6 +48,8 @@ func main() {
 		hdr   = flag.Bool("header", true, "print the CSV header")
 		jobs  = flag.Int("j", runtime.GOMAXPROCS(0),
 			"max concurrent simulations; output order is identical at any -j")
+		checkRuns = flag.Bool("check", false,
+			"attach the simulation invariant checker to every configuration; violations fail the process")
 		timeline = flag.String("timeline", "",
 			"write a Perfetto-loadable trace-event timeline of the sweep to this JSON file")
 		metricsOut = flag.String("metrics", "",
@@ -97,6 +99,12 @@ func main() {
 			reg.EnableTimeline()
 		}
 	}
+	// One checker audits every configuration in the sweep; it is safe to
+	// share across the -j workers. Nil stays the zero-cost unchecked path.
+	var checker *t3sim.Checker
+	if *checkRuns {
+		checker = t3sim.NewChecker()
+	}
 
 	// The sweep cross-product, in output order.
 	type config struct {
@@ -141,7 +149,7 @@ func main() {
 					sink = reg.Scope(fmt.Sprintf("cfg%03d-dev%d-link%g-cu%d",
 						i, c.devices, c.link, c.cus))
 				}
-				row, err := runOne(grid, c.devices, c.link, c.cus, arbitration, collective, *arb, *coll, sink)
+				row, err := runOne(grid, c.devices, c.link, c.cus, arbitration, collective, *arb, *coll, sink, checker)
 				slots[i] <- rowResult{row: row, err: err}
 			}
 		}()
@@ -168,6 +176,14 @@ func main() {
 			fail(fmt.Errorf("-metrics: %w", err))
 		}
 	}
+	if checker != nil {
+		if vs := checker.Violations(); len(vs) > 0 {
+			for _, v := range vs {
+				fmt.Fprintf(os.Stderr, "t3sweep: -check: %s\n", v)
+			}
+			os.Exit(1)
+		}
+	}
 }
 
 // writeExport writes one metrics exporter's output to path; "" skips.
@@ -187,10 +203,11 @@ func writeExport(path string, write func(io.Writer) error) error {
 }
 
 // runOne simulates one configuration and returns its CSV row. A non-nil sink
-// receives the run's instruments (spans, counters, gauges).
+// receives the run's instruments (spans, counters, gauges); a non-nil checker
+// audits the run's conservation/ordering/bound invariants.
 func runOne(grid t3sim.GEMMGrid, devices int, linkGBps float64, cus int,
 	arb t3sim.Arbitration, coll t3sim.FusedCollective, arbName, collName string,
-	sink t3sim.MetricsSink) (string, error) {
+	sink t3sim.MetricsSink, checker *t3sim.Checker) (string, error) {
 	gpu := t3sim.DefaultGPUConfig()
 	gpu.CUs = cus
 	link := t3sim.DefaultLinkConfig()
@@ -206,6 +223,7 @@ func runOne(grid t3sim.GEMMGrid, devices int, linkGBps float64, cus int,
 		Collective:  coll,
 		Arbitration: arb,
 		Metrics:     sink,
+		Check:       checker,
 	}
 	var (
 		res t3sim.FusedResult

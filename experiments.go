@@ -176,6 +176,36 @@ func AblationGEMMPipeline(ev *Evaluator) (*AblationPipelineResult, error) {
 	return experiments.AblationGEMMPipeline(ev)
 }
 
+// The experiment catalogue: the canonical list of every runnable experiment,
+// shared by cmd/t3sim and the golden regression harness so the CLI and the
+// snapshot tests can never drift apart.
+type (
+	// ExperimentRenderable is any experiment result that can print itself.
+	ExperimentRenderable = experiments.Renderable
+	// ExperimentTextResult wraps plain-text results (the tables).
+	ExperimentTextResult = experiments.TextResult
+	// ExperimentRunner shares one setup and one memoizing evaluator across
+	// catalogue entries in a process.
+	ExperimentRunner = experiments.Runner
+	// ExperimentCatalogueEntry is one runnable experiment: its -exp id, a
+	// one-line description, and the driver.
+	ExperimentCatalogueEntry = experiments.CatalogueEntry
+)
+
+// ExperimentCatalogue returns every experiment in canonical print order.
+func ExperimentCatalogue() []ExperimentCatalogueEntry { return experiments.Catalogue() }
+
+// ExperimentByName finds one experiment by its -exp id.
+func ExperimentByName(name string) (ExperimentCatalogueEntry, bool) {
+	return experiments.CatalogueEntryByName(name)
+}
+
+// NewExperimentRunner returns a runner over the setup; jobs bounds the shared
+// evaluator's parallelism (1 = fully serial, 0 = GOMAXPROCS).
+func NewExperimentRunner(setup ExperimentSetup, jobs int) *ExperimentRunner {
+	return experiments.NewRunner(setup, jobs)
+}
+
 // Table1 renders the simulation setup.
 func Table1(setup ExperimentSetup) string { return experiments.Table1(setup) }
 

@@ -3,6 +3,7 @@ package collective
 import (
 	"fmt"
 
+	"t3sim/internal/check"
 	"t3sim/internal/interconnect"
 	"t3sim/internal/memory"
 	"t3sim/internal/metrics"
@@ -42,6 +43,10 @@ type Options struct {
 	// instants at step boundaries, and block/byte counters. Nil costs
 	// nothing.
 	Metrics metrics.Sink
+	// Check, if non-nil, attaches the conservation witness: every byte
+	// handed to a ring link must be staged at the receiver, and the books
+	// must balance when the collective completes. Nil costs nothing.
+	Check *check.Checker
 }
 
 // Validate reports whether the options are usable.
@@ -115,6 +120,8 @@ type run struct {
 	mtrack     *metrics.Track   // "collective" timeline (nil-safe)
 	mBlocks    *metrics.Counter // pipelined blocks pushed over the wire
 	mLinkBytes *metrics.Counter // bytes handed to ring links
+
+	ledger *check.Ledger // wire-byte conservation witness (nil-safe)
 }
 
 func newRun(eng *sim.Engine, o Options, reduce bool, onDone sim.Handler) (*run, error) {
@@ -124,6 +131,16 @@ func newRun(eng *sim.Engine, o Options, reduce bool, onDone sim.Handler) (*run, 
 	r := &run{eng: eng, o: o, n: o.Ring.Devices(), reduce: reduce}
 	r.chunks = chunkSizes(o.TotalBytes, r.n)
 	r.cuFree = make([]units.Time, r.n)
+	if o.Check.Enabled() {
+		r.ledger = o.Check.Ledger("collective.ring")
+		inner := onDone
+		onDone = func() {
+			r.ledger.Close(eng.Now())
+			if inner != nil {
+				inner()
+			}
+		}
+	}
 	r.done = sim.NewFence(r.n, onDone) // one completion per device
 	if m := o.Metrics; m != nil {
 		r.mtrack = m.Track("collective")
@@ -205,6 +222,7 @@ func (r *run) send(d, s int, block units.Bytes) {
 		at := r.pace(d, touches, block)
 		r.eng.At(at, func() {
 			link := o.Ring.ForwardLink(d)
+			r.ledger.Add(int64(block))
 			link.Send(block, func() {
 				r.mBlocks.Inc()
 				r.mLinkBytes.Add(int64(block))
@@ -229,6 +247,7 @@ func (r *run) receive(d, s int, block units.Bytes) {
 		kind = memory.Update
 	}
 	o.Devices[d].Mem.Transfer(kind, o.Stream, block, memory.Tag{}, func() {
+		r.ledger.Sub(r.eng.Now(), int64(block))
 		r.arrivals[[2]int{d, s}].Done()
 	})
 }

@@ -38,6 +38,7 @@ func fusedOptionsFor(s Setup, c SubCase) (t3core.FusedOptions, transformer.SubLa
 		Devices:    c.TP,
 		Grid:       sl.Grid,
 		Collective: t3core.RingReduceScatter,
+		Check:      s.Check,
 	}, sl, nil
 }
 

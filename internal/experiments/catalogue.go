@@ -1,0 +1,143 @@
+package experiments
+
+import "sync"
+
+// Renderable is any experiment result that can print itself the way the
+// paper reports it. Every driver's result type implements it.
+type Renderable interface{ Render() string }
+
+// TextResult wraps plain-text results (the tables) so they fit the same
+// interface and JSON shape as the typed figure results.
+type TextResult struct {
+	Text string
+}
+
+// Render implements Renderable.
+func (t TextResult) Render() string { return t.Text }
+
+// Runner shares one setup and one memoizing evaluator across catalogue
+// entries in a process, so experiments that need the same sub-layer
+// simulations (Figures 15–19) pay for them once. It is safe for concurrent
+// use: the evaluator is built lazily exactly once and is itself
+// concurrency-safe.
+type Runner struct {
+	setup    Setup
+	jobs     int
+	evalOnce sync.Once
+	ev       *Evaluator
+	evErr    error
+}
+
+// NewRunner returns a runner over the setup; jobs bounds the evaluator's
+// internal parallelism (1 = fully serial, 0 = GOMAXPROCS).
+func NewRunner(setup Setup, jobs int) *Runner {
+	return &Runner{setup: setup, jobs: jobs}
+}
+
+// Setup returns the runner's machine configuration.
+func (r *Runner) Setup() Setup { return r.setup }
+
+// Evaluator returns the shared memoizing evaluator, building it on first use.
+func (r *Runner) Evaluator() (*Evaluator, error) {
+	r.evalOnce.Do(func() {
+		r.ev, r.evErr = NewEvaluator(r.setup)
+		if r.ev != nil {
+			r.ev.Parallelism = r.jobs
+		}
+	})
+	return r.ev, r.evErr
+}
+
+// CatalogueEntry is one runnable experiment: a stable name (the -exp id),
+// a one-line description, and the driver.
+type CatalogueEntry struct {
+	Name string
+	Desc string
+	Run  func(*Runner) (Renderable, error)
+}
+
+// text adapts a string-producing experiment.
+func text(s string) (Renderable, error) { return TextResult{Text: s}, nil }
+
+// wrapResult adapts a typed result + error to the Renderable interface.
+func wrapResult[T Renderable](v T, err error) (Renderable, error) {
+	if err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// withEval builds a driver that needs the shared evaluator.
+func withEval[T Renderable](f func(*Evaluator) (T, error)) func(*Runner) (Renderable, error) {
+	return func(r *Runner) (Renderable, error) {
+		ev, err := r.Evaluator()
+		if err != nil {
+			return nil, err
+		}
+		return wrapResult(f(ev))
+	}
+}
+
+// catalogue is the full experiment list in canonical print order. The golden
+// regression harness snapshots every entry's output, so renaming or removing
+// an entry is a breaking change to testdata/golden/.
+var catalogue = []CatalogueEntry{
+	{"table1", "simulation setup (Table 1)", func(r *Runner) (Renderable, error) {
+		return text(Table1(r.setup))
+	}},
+	{"table2", "studied models (Table 2)", func(r *Runner) (Renderable, error) {
+		return text(Table2())
+	}},
+	{"table3", "qualitative comparison (Table 3)", func(r *Runner) (Renderable, error) {
+		return text(Table3())
+	}},
+	{"fig4", "iteration time breakdown (Figure 4)", func(r *Runner) (Renderable, error) {
+		return wrapResult(Fig4(r.setup))
+	}},
+	{"fig6", "CU-sharing study (Figure 6)", withEval(Fig6)},
+	{"fig14", "reduce-scatter simulation validation (Figure 14)", func(r *Runner) (Renderable, error) {
+		return wrapResult(Fig14(r.setup))
+	}},
+	{"fig15", "sub-layer runtime distribution (Figure 15)", withEval(Fig15)},
+	{"fig16", "sub-layer speedups (Figure 16)", withEval(Fig16)},
+	{"fig16-large", "large-model sub-layer speedups (§6.4)", withEval(Fig16Large)},
+	{"fig17", "DRAM traffic timelines (Figure 17)", func(r *Runner) (Renderable, error) {
+		return wrapResult(Fig17(r.setup))
+	}},
+	{"fig18", "DRAM access breakdown (Figure 18)", withEval(Fig18)},
+	{"fig19", "end-to-end speedups (Figure 19)", withEval(Fig19)},
+	{"fig19-large", "large-model end-to-end speedups (§6.4)", withEval(Fig19Large)},
+	{"fig20", "future hardware with 2x compute (Figure 20)", withEval(Fig20)},
+	{"generation", "token-generation phase study (§7.3)", withEval(Generation)},
+	{"mirror", "mirror-methodology validation (§5.1.1)", func(r *Runner) (Renderable, error) {
+		return wrapResult(MirrorValidation(r.setup))
+	}},
+	{"coarse-overlap", "coarse-grained DP contention study (§3.2.2/§7.2)", func(r *Runner) (Renderable, error) {
+		return wrapResult(CoarseOverlap(r.setup))
+	}},
+	{"layer", "DES vs analytic full-layer cross-validation", func(r *Runner) (Renderable, error) {
+		return wrapResult(LayerValidation(r.setup))
+	}},
+	{"ablation-arb", "MC arbitration policy sweep (§4.5)", withEval(AblationArbitration)},
+	{"ablation-nmc", "NMC op-and-store cost sweep (§7.4)", withEval(AblationNMCCost)},
+	{"ablation-dma", "DMA block granularity sweep (§4.2.2)", withEval(AblationDMABlock)},
+	{"ablation-link", "link bandwidth sweep (§7.8 multi-node regime)", withEval(AblationLinkBandwidth)},
+	{"ablation-dram", "DRAM timing model fidelity (flat vs bank-group)", withEval(AblationDRAMModel)},
+	{"ablation-pipeline", "producer stage schedule (read-then-compute vs double-buffered)", withEval(AblationGEMMPipeline)},
+}
+
+// Catalogue returns the experiment list in canonical print order. The slice
+// is a copy; entries (and their Run closures) are shared.
+func Catalogue() []CatalogueEntry {
+	return append([]CatalogueEntry(nil), catalogue...)
+}
+
+// CatalogueEntryByName finds one experiment by its -exp id.
+func CatalogueEntryByName(name string) (CatalogueEntry, bool) {
+	for _, e := range catalogue {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return CatalogueEntry{}, false
+}

@@ -77,6 +77,7 @@ func Fig14(setup Setup) (*Fig14Result, error) {
 // runTimedRS runs one timed multi-GPU reduce-scatter to completion.
 func runTimedRS(setup Setup, devices int, size units.Bytes) (units.Time, error) {
 	eng := sim.NewEngine()
+	eng.AttachChecker(setup.Check)
 	// One scope per sweep point keeps the N memory systems' counters and the
 	// collective track distinct across sizes.
 	var sink metrics.Sink
@@ -96,6 +97,7 @@ func runTimedRS(setup Setup, devices int, size units.Bytes) (units.Time, error) 
 		if sink != nil {
 			memCfg.Metrics = sink.Scope(fmt.Sprintf("dev%d", i))
 		}
+		memCfg.Check = setup.Check
 		mc, err := memory.NewController(eng, memCfg, memory.ComputeFirst{})
 		if err != nil {
 			return 0, err
@@ -112,6 +114,7 @@ func runTimedRS(setup Setup, devices int, size units.Bytes) (units.Time, error) 
 		PerCUMemBandwidth: setup.PerCUMemBandwidth,
 		Stream:            memory.StreamComm,
 		Metrics:           sink,
+		Check:             setup.Check,
 	}, func() { done = eng.Now() })
 	if err != nil {
 		return 0, err

@@ -88,6 +88,7 @@ func Fig17(setup Setup) (*Fig17Result, error) {
 		Arbitration: t3core.ArbRoundRobin,
 		Observer:    t3Trace,
 		Metrics:     t3Sink,
+		Check:       setup.Check,
 	})
 	if err != nil {
 		return nil, err

@@ -93,6 +93,7 @@ func (res *GenerationResult) addModel(ev *Evaluator, hw transformer.HW, m transf
 				Grid:        sl.Grid,
 				Collective:  t3core.RingReduceScatter,
 				Arbitration: t3core.ArbMCA,
+				Check:       s.Check,
 			})
 			if err != nil {
 				return err

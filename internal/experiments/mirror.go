@@ -51,6 +51,7 @@ func MirrorValidation(setup Setup) (*MirrorResult, error) {
 			Grid:        grid,
 			Collective:  t3core.RingReduceScatter,
 			Arbitration: t3core.ArbRoundRobin,
+			Check:       setup.Check,
 		}
 		mirror, err := t3core.RunFusedGEMMRS(opts)
 		if err != nil {

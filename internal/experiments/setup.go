@@ -7,6 +7,7 @@ package experiments
 import (
 	"fmt"
 
+	"t3sim/internal/check"
 	"t3sim/internal/gpu"
 	"t3sim/internal/interconnect"
 	"t3sim/internal/memory"
@@ -34,6 +35,11 @@ type Setup struct {
 	// "fig17/baseline"), so a single registry collects a whole experiment
 	// sweep deterministically at any -j. Nil costs nothing.
 	Metrics metrics.Sink
+	// Check, if non-nil, is threaded into every simulation an experiment
+	// runs (fused runners, timed collectives, isolated kernels), collecting
+	// invariant violations across the whole sweep; a single checker is safe
+	// to share at any -j. Nil costs nothing.
+	Check *check.Checker
 }
 
 // DefaultSetup mirrors Table 1. The tracker keeps the paper's 256 sets but

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"t3sim/internal/transformer"
+)
+
+// Stress test for the Evaluator's memo + singleflight path. Many goroutines
+// race Evaluate and EvaluateAll over a small, overlapping case set; the
+// onEvaluate hook counts how many times each case actually simulates. The
+// contract under test — run with -race in CI — is exactly-once simulation per
+// distinct case and bit-identical results for every waiter, no matter how the
+// callers interleave.
+
+// stressModel is deliberately tiny so each real evaluation is milliseconds:
+// the test's work is in the interleaving, not the simulation.
+var stressModel = transformer.Model{
+	Name:      "stress-tiny",
+	Hidden:    1024,
+	Layers:    2,
+	SeqLen:    128,
+	Batch:     2,
+	TPDegrees: []int{2},
+	FFMult:    4,
+}
+
+func TestEvaluatorSingleflightStress(t *testing.T) {
+	ev, err := NewEvaluator(DefaultSetup())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var (
+		countMu sync.Mutex
+		counts  = map[string]int{}
+	)
+	ev.onEvaluate = func(c SubCase) {
+		countMu.Lock()
+		counts[c.String()]++
+		countMu.Unlock()
+	}
+
+	var cases []SubCase
+	for _, kind := range transformer.AllSubLayers {
+		cases = append(cases, SubCase{Model: stressModel, Kind: kind, TP: 2})
+	}
+	// Duplicate entries in one EvaluateAll batch must also collapse.
+	batch := append(append([]SubCase{}, cases...), cases...)
+
+	const goroutines = 16
+	results := make([][]SublayerResult, goroutines)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start // line everyone up so the singleflight window actually contends
+			if g%2 == 0 {
+				rs, err := ev.EvaluateAll(batch)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				results[g] = rs[:len(cases)]
+				return
+			}
+			rs := make([]SublayerResult, len(cases))
+			for i, c := range cases {
+				r, err := ev.Evaluate(c)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				rs[i] = r
+			}
+			results[g] = rs
+		}()
+	}
+	close(start)
+	wg.Wait()
+
+	// Exactly-once: every distinct case simulated once, nothing unexpected.
+	countMu.Lock()
+	defer countMu.Unlock()
+	if len(counts) != len(cases) {
+		t.Errorf("simulated %d distinct cases, want %d: %v", len(counts), len(cases), counts)
+	}
+	for _, c := range cases {
+		if n := counts[c.String()]; n != 1 {
+			t.Errorf("case %s simulated %d times, want exactly once", c, n)
+		}
+	}
+
+	// Every waiter saw the same bits, whichever goroutine's run they joined.
+	ref := results[0]
+	if ref == nil {
+		t.Fatal("no reference results")
+	}
+	for g, rs := range results {
+		if rs == nil {
+			continue // goroutine already reported its error
+		}
+		for i := range rs {
+			if !reflect.DeepEqual(rs[i], ref[i]) {
+				t.Errorf("goroutine %d case %s: result diverges from reference", g, cases[i])
+			}
+		}
+	}
+}

@@ -97,6 +97,11 @@ type Evaluator struct {
 	mu       sync.Mutex
 	cache    map[string]SublayerResult
 	inflight map[string]*evalCall
+
+	// onEvaluate, when non-nil, runs at the start of every actual (neither
+	// memoized nor deduplicated) evaluation. Tests use it to count how many
+	// times a case really simulates.
+	onEvaluate func(SubCase)
 }
 
 // evalCall is one in-flight evaluation waiters block on.
@@ -210,6 +215,9 @@ func (e *Evaluator) EvaluateAll(cases []SubCase) ([]SublayerResult, error) {
 }
 
 func (e *Evaluator) evaluate(c SubCase) (SublayerResult, error) {
+	if e.onEvaluate != nil {
+		e.onEvaluate(c)
+	}
 	s := e.Setup
 	sl, err := transformer.SubLayerGEMM(c.Model, c.Kind, c.TP)
 	if err != nil {
@@ -231,6 +239,7 @@ func (e *Evaluator) evaluate(c SubCase) (SublayerResult, error) {
 		Grid:        sl.Grid,
 		Collective:  t3core.RingReduceScatter,
 		Arbitration: t3core.ArbRoundRobin,
+		Check:       s.Check,
 	}
 	mcaOpts := fusedOpts
 	mcaOpts.Arbitration = t3core.ArbMCA
@@ -342,8 +351,10 @@ func (e *Evaluator) isolatedGEMM(sl transformer.SubLayer, bypassLLC bool, m metr
 func (e *Evaluator) isolatedGEMMOnCUs(sl transformer.SubLayer, bypassLLC bool, cus int, m metrics.Sink) (units.Time, units.Bytes, error) {
 	s := e.Setup
 	eng := sim.NewEngine()
+	eng.AttachChecker(s.Check)
 	memCfg := s.Memory
 	memCfg.Metrics = m
+	memCfg.Check = s.Check
 	mc, err := memory.NewController(eng, memCfg, memory.ComputeFirst{})
 	if err != nil {
 		return 0, 0, err

@@ -8,6 +8,7 @@ package interconnect
 import (
 	"fmt"
 
+	"t3sim/internal/check"
 	"t3sim/internal/metrics"
 	"t3sim/internal/sim"
 	"t3sim/internal/units"
@@ -57,11 +58,17 @@ type Link struct {
 
 	busyUntil units.Time
 	sentBytes units.Bytes
+	busyTime  units.Time // cumulative serializer occupancy
 
 	// Instrument handles (nil-safe; installed by AttachMetrics).
 	mtrack *metrics.Track   // one span per Send, serialization window
 	mSent  *metrics.Counter // cumulative bytes accepted
 	mBusy  *metrics.Counter // picoseconds of serializer occupancy
+
+	// Invariant-checker handle (nil-safe; installed by AttachChecker). Each
+	// send's serialization window [serializeStart, busyUntil] must abut or
+	// follow the previous one — the serializer is a serially-reused resource.
+	chkSerial *check.NonOverlap
 }
 
 // NewLink returns an idle link.
@@ -128,6 +135,8 @@ func (l *Link) SendWith(n units.Bytes, onPacket func(units.Bytes), onDelivered s
 			break
 		}
 	}
+	l.busyTime += l.busyUntil - serializeStart
+	l.chkSerial.Window(serializeStart, l.busyUntil)
 	l.mSent.Add(int64(n))
 	l.mBusy.Add(int64(l.busyUntil - serializeStart))
 	if l.mtrack != nil && l.busyUntil > serializeStart {
@@ -135,8 +144,20 @@ func (l *Link) SendWith(n units.Bytes, onPacket func(units.Bytes), onDelivered s
 	}
 }
 
+// AttachChecker registers the link's invariant witness under the given name
+// (e.g. "fwd0"): serialization windows must never overlap. A nil checker
+// detaches.
+func (l *Link) AttachChecker(c *check.Checker, name string) {
+	l.chkSerial = c.NonOverlap("interconnect." + name + ".serialize")
+}
+
 // BusyUntil returns the time at which the link's serializer frees up.
 func (l *Link) BusyUntil() units.Time { return l.busyUntil }
+
+// BusyTime returns the cumulative time the serializer has been occupied. In
+// any simulation it is bounded above by the wall-clock span of the run — the
+// bound the invariant checker asserts at end of run.
+func (l *Link) BusyTime() units.Time { return l.busyTime }
 
 // SentBytes returns the cumulative bytes accepted by the link.
 func (l *Link) SentBytes() units.Bytes { return l.sentBytes }

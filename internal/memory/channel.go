@@ -1,6 +1,7 @@
 package memory
 
 import (
+	"t3sim/internal/check"
 	"t3sim/internal/metrics"
 	"t3sim/internal/units"
 )
@@ -29,6 +30,10 @@ type channel struct {
 	mBusy     *metrics.Counter       // picoseconds the service stage was occupied
 	mIssued   Stream                 // stream of the last DRAM-queue issue
 	mAnyIssue bool                   // whether mIssued is meaningful yet
+
+	// Invariant-checker handles (nil-safe; nil without Config.Check).
+	chkServe *check.NonOverlap // service-stage busy windows
+	chkDepth *check.Bound      // DRAM command-queue occupancy vs QueueDepth
 }
 
 // enqueue places a request on its stream queue and kicks arbitration.
@@ -56,6 +61,7 @@ func (ch *channel) arbitrate() {
 		q[len(q)-1] = nil
 		ch.streams[s] = q[:len(q)-1]
 		ch.dramq = append(ch.dramq, r)
+		ch.chkDepth.Observe(ch.ctrl.eng.Now(), int64(len(ch.dramq)))
 		if s == StreamComm {
 			ch.lastComm = ch.ctrl.eng.Now()
 		}
@@ -91,6 +97,10 @@ func (ch *channel) service() {
 		}
 	}
 	ch.sampleOccupancy()
+	if ch.chkServe != nil {
+		now := ch.ctrl.eng.Now()
+		ch.chkServe.Window(now, now+t)
+	}
 	ch.ctrl.counters.add(r.Kind, r.Stream, r.Bytes, ch.ctrl.eng.Now()-r.enqueuedAt)
 	ch.mBytes[r.Kind][r.Stream].Add(int64(r.Bytes))
 	ch.mBusy.Add(int64(t))

@@ -93,6 +93,12 @@ func NewController(eng *sim.Engine, cfg Config, arb Arbiter) (*Controller, error
 			ch.mBusy = m.Counter(fmt.Sprintf("memory.chan%d.busy_ps", i))
 		}
 	}
+	if ck := cfg.Check; ck != nil {
+		for i, ch := range c.channels {
+			ch.chkServe = ck.NonOverlap(fmt.Sprintf("memory.chan%d.service", i))
+			ch.chkDepth = ck.Bound(fmt.Sprintf("memory.chan%d.dramq", i), int64(cfg.QueueDepth))
+		}
+	}
 	return c, nil
 }
 

@@ -14,6 +14,7 @@ package memory
 import (
 	"fmt"
 
+	"t3sim/internal/check"
 	"t3sim/internal/metrics"
 	"t3sim/internal/units"
 )
@@ -118,6 +119,11 @@ type Config struct {
 	// threshold gauge, and a "memory" timeline track with one span per
 	// Transfer. A nil sink records nothing and costs nothing.
 	Metrics metrics.Sink
+	// Check, if non-nil, attaches the invariant checker: per-channel service
+	// windows must never overlap (the stage is serially reused) and DRAM
+	// queue occupancy must never exceed QueueDepth. Like Metrics, a nil
+	// checker records nothing and costs nothing.
+	Check *check.Checker
 }
 
 // DefaultConfig mirrors Table 1 of the paper.

@@ -135,10 +135,20 @@ func (r *Registry) WriteTrace(w io.Writer) error {
 
 // psToMicros formats a picosecond quantity as decimal microseconds without
 // any floating-point rounding: integer microseconds, then the six-digit
-// sub-microsecond remainder (1 ps = 0.000001 µs).
+// sub-microsecond remainder (1 ps = 0.000001 µs). Negative times (a span
+// recorded before the engine epoch) carry the sign on the whole literal —
+// naively formatting the remainder would emit "0.-00001", which is not a
+// JSON number (caught by FuzzWriteTrace).
 func psToMicros(t units.Time) string {
-	const psPerMicro = int64(units.Microsecond)
-	return fmt.Sprintf("%d.%06d", int64(t)/psPerMicro, int64(t)%psPerMicro)
+	const psPerMicro = uint64(units.Microsecond)
+	ps := int64(t)
+	mag := uint64(ps)
+	sign := ""
+	if ps < 0 {
+		mag = -mag // two's complement magnitude; exact even for MinInt64
+		sign = "-"
+	}
+	return fmt.Sprintf("%s%d.%06d", sign, mag/psPerMicro, mag%psPerMicro)
 }
 
 // jsonString renders s as a JSON string literal. encoding/json string

@@ -1,0 +1,220 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strconv"
+	"testing"
+
+	"t3sim/internal/units"
+)
+
+// Fuzzing the exporters: whatever instrument names and simulated times the
+// models record — hostile strings, negative or extreme timestamps — the two
+// export formats must stay machine-valid. WriteMetrics/WriteTrace output is
+// consumed by Perfetto and downstream tooling, where "almost JSON" fails in
+// ways a unit test with friendly inputs never sees. FuzzWriteTrace found the
+// psToMicros negative-remainder bug ("0.-00001") this package now guards
+// against.
+
+// traceDoc mirrors the Chrome trace-event JSON the exporter writes.
+type traceDoc struct {
+	TraceEvents []struct {
+		Ph   string      `json:"ph"`
+		Pid  int         `json:"pid"`
+		Tid  int         `json:"tid"`
+		Ts   json.Number `json:"ts"`
+		Dur  json.Number `json:"dur"`
+		Name string      `json:"name"`
+	} `json:"traceEvents"`
+}
+
+// decodeTrace parses an exported trace strictly (UseNumber keeps timestamp
+// literals verbatim so malformed numbers fail the decode, not a float cast).
+func decodeTrace(t *testing.T, raw []byte) traceDoc {
+	t.Helper()
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.UseNumber()
+	var doc traceDoc
+	if err := dec.Decode(&doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, raw)
+	}
+	return doc
+}
+
+func FuzzWriteTrace(f *testing.F) {
+	f.Add("run", "track", "span", int64(0), int64(1000), int64(500))
+	f.Add("", "t", "", int64(-1), int64(0), int64(-1))                           // negative epoch, the psToMicros bug
+	f.Add("a/b\"c", "t\n", "n\\", int64(math.MinInt64), int64(5), int64(7))      // hostile names, extreme magnitude
+	f.Add("s", "t", "x", int64(math.MaxInt64-1), int64(math.MaxInt64), int64(3)) // saturating end
+	f.Fuzz(func(t *testing.T, scope, track, name string, start, dur, instant int64) {
+		reg := NewRegistry()
+		reg.EnableTimeline()
+		tr := reg.Scope(scope).Track(track)
+		end := start
+		if dur > 0 {
+			if end > math.MaxInt64-dur {
+				end = math.MaxInt64
+			} else {
+				end = start + dur
+			}
+		}
+		tr.Span(name, units.Time(start), units.Time(end))
+		tr.Instant(name, units.Time(instant))
+
+		var buf bytes.Buffer
+		if err := reg.WriteTrace(&buf); err != nil {
+			t.Fatalf("WriteTrace: %v", err)
+		}
+		doc := decodeTrace(t, buf.Bytes())
+
+		// Structural validity: every event has a known phase and a positive
+		// pid; complete events carry a parseable timestamp pair with a
+		// non-negative duration; instants carry a parseable timestamp.
+		spans, instants := 0, 0
+		for _, e := range doc.TraceEvents {
+			switch e.Ph {
+			case "M":
+				// metadata (process/thread names)
+			case "X":
+				spans++
+				if _, err := strconv.ParseFloat(e.Ts.String(), 64); err != nil {
+					t.Errorf("span ts %q: %v", e.Ts, err)
+				}
+				d, err := strconv.ParseFloat(e.Dur.String(), 64)
+				if err != nil {
+					t.Errorf("span dur %q: %v", e.Dur, err)
+				} else if d < 0 {
+					t.Errorf("span duration %v negative", d)
+				}
+			case "i":
+				instants++
+				if _, err := strconv.ParseFloat(e.Ts.String(), 64); err != nil {
+					t.Errorf("instant ts %q: %v", e.Ts, err)
+				}
+			default:
+				t.Errorf("unknown trace phase %q", e.Ph)
+			}
+			if e.Pid < 1 {
+				t.Errorf("event with pid %d", e.Pid)
+			}
+		}
+		// Matched recording: exactly the one span and one instant we wrote.
+		if spans != 1 || instants != 1 {
+			t.Errorf("got %d spans and %d instants, recorded 1+1", spans, instants)
+		}
+	})
+}
+
+// jsonKey maps an instrument name to the key it will carry in the exported
+// JSON document: encoding/json replaces invalid UTF-8 with U+FFFD, so a name
+// like "\x96" round-trips as "�" (found by FuzzWriteMetrics).
+func jsonKey(t *testing.T, name string) string {
+	t.Helper()
+	var out string
+	if err := json.Unmarshal(jsonString(name), &out); err != nil {
+		t.Fatalf("name %q does not encode to a JSON string: %v", name, err)
+	}
+	return out
+}
+
+func FuzzWriteMetrics(f *testing.F) {
+	f.Add("memory.chan0.read_bytes", int64(1), int64(2), int64(1000), int64(0), int64(5))
+	f.Add("", int64(-7), int64(math.MinInt64), int64(0), int64(-3), int64(0))
+	f.Add("quote\"brace}\x00newline\n", int64(math.MaxInt64), int64(-1), int64(-5), int64(1<<40), int64(-9))
+	f.Add("\x96", int64(1), int64(-60), int64(1075), int64(-188), int64(5)) // invalid UTF-8 exports as U+FFFD
+	f.Fuzz(func(t *testing.T, name string, cv, gv, width, at, sv int64) {
+		reg := NewRegistry()
+		reg.Counter(name).Add(cv)
+		reg.Scope(name).Gauge(name).Set(gv)
+		if width <= 0 {
+			width = 1
+		}
+		if at < 0 { // negative sample times panic by contract; keep in-domain
+			at = 0
+		}
+		// Bound the series length: buckets are allocated up to at/width, so an
+		// extreme timestamp over a tiny width would allocate billions. Clamp
+		// the bucket index, not the raw time (safe from overflow: when the
+		// clamp applies, width < at/4096 ≤ MaxInt64/4096).
+		const maxBuckets = 1 << 12
+		if at/width >= maxBuckets {
+			at = (maxBuckets - 1) * width
+		}
+		reg.Series(name, units.Time(width)).Add(units.Time(at), sv)
+
+		var buf bytes.Buffer
+		if err := reg.WriteMetrics(&buf); err != nil {
+			t.Fatalf("WriteMetrics: %v", err)
+		}
+		var doc struct {
+			Counters map[string]int64 `json:"counters"`
+			Gauges   map[string]int64 `json:"gauges"`
+			Series   map[string]struct {
+				BucketPS int64   `json:"bucket_ps"`
+				Values   []int64 `json:"values"`
+			} `json:"series"`
+		}
+		if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+			t.Fatalf("metrics export is not valid JSON: %v\n%s", err, buf.Bytes())
+		}
+		key := jsonKey(t, name)
+		if got := doc.Counters[key]; got != cv {
+			t.Errorf("counter %q round-tripped to %d, want %d", key, got, cv)
+		}
+		scoped := jsonKey(t, name+"/"+name)
+		if got := doc.Gauges[scoped]; got != gv {
+			t.Errorf("gauge %q round-tripped to %d, want %d", scoped, got, gv)
+		}
+		s, ok := doc.Series[key]
+		if !ok {
+			t.Fatalf("series %q missing from export", key)
+		}
+		if s.BucketPS != width {
+			t.Errorf("series width round-tripped to %d, want %d", s.BucketPS, width)
+		}
+		idx := int(at / width)
+		if idx >= len(s.Values) || s.Values[idx] != sv {
+			t.Errorf("series bucket %d missing value %d in %v", idx, sv, s.Values)
+		}
+	})
+}
+
+// TestTraceNegativeTimeValidJSON pins the psToMicros regression outside the
+// fuzz corpus: a span starting before the epoch must still export as valid
+// JSON with a correctly signed timestamp.
+func TestTraceNegativeTimeValidJSON(t *testing.T) {
+	reg := NewRegistry()
+	reg.EnableTimeline()
+	tr := reg.Scope("run").Track("t")
+	tr.Span("early", units.Time(-1_500_000), units.Time(-499_999)) // -1.5us .. ~-0.5us
+	tr.Instant("mark", units.Time(-1))
+
+	var buf bytes.Buffer
+	if err := reg.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	doc := decodeTrace(t, buf.Bytes())
+	var sawSpan, sawInstant bool
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "X":
+			sawSpan = true
+			if e.Ts.String() != "-1.500000" {
+				t.Errorf("span ts = %s, want -1.500000", e.Ts)
+			}
+			if e.Dur.String() != "1.000001" {
+				t.Errorf("span dur = %s, want 1.000001", e.Dur)
+			}
+		case "i":
+			sawInstant = true
+			if e.Ts.String() != "-0.000001" {
+				t.Errorf("instant ts = %s, want -0.000001", e.Ts)
+			}
+		}
+	}
+	if !sawSpan || !sawInstant {
+		t.Fatalf("span/instant missing from trace: %s", buf.Bytes())
+	}
+}

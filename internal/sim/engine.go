@@ -14,6 +14,7 @@ package sim
 import (
 	"fmt"
 
+	"t3sim/internal/check"
 	"t3sim/internal/units"
 )
 
@@ -54,10 +55,19 @@ type Engine struct {
 	seq       uint64
 	queue     []event
 	processed uint64
+	mono      *check.Monotonic // event-time monotonicity witness (nil = off)
 }
 
 // NewEngine returns an empty engine with the clock at zero.
 func NewEngine() *Engine { return &Engine{} }
+
+// AttachChecker registers an invariant checker that witnesses every
+// dispatched event's timestamp: the event clock must never run backwards,
+// regardless of how the heap is mutated. A nil checker detaches (the dispatch
+// loop then pays a single nil-handle branch per event).
+func (e *Engine) AttachChecker(c *check.Checker) {
+	e.mono = c.Monotonic("sim.engine")
+}
 
 // Now returns the current simulation time.
 func (e *Engine) Now() units.Time { return e.now }
@@ -121,6 +131,7 @@ func (e *Engine) RunUntil(deadline units.Time) units.Time {
 
 func (e *Engine) step() {
 	ev := e.pop()
+	e.mono.Observe(ev.at)
 	e.now = ev.at
 	e.processed++
 	ev.fn()

@@ -1,0 +1,86 @@
+package t3core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"t3sim/internal/check"
+)
+
+// Falsifiability and zero-cost tests for the invariant checker as wired into
+// the fused runners. A checker that never fires proves nothing — so one test
+// injects a real conservation bug (a silently dropped mirrored update, via
+// the testDropIncoming hook) and demands the checker catch it; the others pin
+// that attaching or omitting the checker cannot change a single timing bit.
+
+// TestCheckerCatchesDroppedUpdate drops one incoming mirrored update and
+// asserts the end-of-run conservation laws flag the run. The drop starves a
+// tracker entry of its last expected write, so the run stalls with live
+// tracker state — exactly the class of model bug the checker exists for.
+func TestCheckerCatchesDroppedUpdate(t *testing.T) {
+	o := fusedOpts(t, 4)
+	c := check.New()
+	o.Check = c
+	r, err := newFusedRun(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.testDropIncoming = 1
+	if _, err := r.run(); err == nil {
+		t.Error("run with a dropped update completed without error")
+	}
+	vs := c.Violations()
+	if len(vs) == 0 {
+		t.Fatal("checker recorded no violations for a dropped update")
+	}
+	conservation := false
+	for _, v := range vs {
+		if strings.HasPrefix(v.Rule, check.RuleConservation+"/") {
+			conservation = true
+		}
+	}
+	if !conservation {
+		t.Errorf("no conservation violation among %d recorded: %v", len(vs), vs)
+	}
+}
+
+// TestCheckerDoesNotPerturbTimings runs the same fused collective with no
+// checker and with a recording checker and requires bit-identical results:
+// the checker is a pure observer, so every timing, byte count and diagnostic
+// must match exactly — any drift means a check is steering the simulation.
+func TestCheckerDoesNotPerturbTimings(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		coll Collective
+		run  func(FusedOptions) (FusedResult, error)
+	}{
+		{"rs", RingReduceScatter, RunFusedGEMMRS},
+		{"ag", RingAllGather, RunFusedGEMMAG},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			plain := fusedOpts(t, 4)
+			plain.Collective = tc.coll
+			bare, err := tc.run(plain)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			checked := plain
+			c := check.New()
+			checked.Check = c
+			audited, err := tc.run(checked)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range c.Violations() {
+				t.Errorf("invariant violation: %s", v)
+			}
+
+			if !reflect.DeepEqual(bare, audited) {
+				t.Errorf("checker perturbed the run:\n  nil checker: %+v\n  checked:     %+v", bare, audited)
+			}
+		})
+	}
+}

@@ -3,6 +3,7 @@ package t3core
 import (
 	"fmt"
 
+	"t3sim/internal/check"
 	"t3sim/internal/gemm"
 	"t3sim/internal/gpu"
 	"t3sim/internal/interconnect"
@@ -84,6 +85,18 @@ type FusedOptions struct {
 	// event. A nil sink records nothing and costs nothing. If
 	// Memory.Metrics is already set it wins for the controller.
 	Metrics metrics.Sink
+	// Check, if non-nil, is threaded through every model the same way
+	// Metrics is: the engine witnesses event-time monotonicity, the memory
+	// channels witness service non-overlap and queue-depth bounds, the ring
+	// links witness serialization non-overlap, and the run itself closes the
+	// books at the end — ring bytes delivered equal bytes injected, the
+	// tracker drained to zero live entries and fired once per tile within
+	// its sets×ways budget, each DMA triggered exactly once per tile, spans
+	// nest (GEMMDone ≤ CollectiveDone ≤ Done), and no link was busy longer
+	// than the wall clock. A nil checker records nothing and costs nothing
+	// (pinned by the nil-cost integration test). If Memory.Check is already
+	// set it wins for the controller.
+	Check *check.Checker
 }
 
 // emit records an observability event when a log is attached.
@@ -177,9 +190,21 @@ type fusedRun struct {
 	result     FusedResult
 	err        error
 
+	kernel *gpu.GEMMKernel
+	arb    memory.Arbiter
+
 	mtrack   *metrics.Track   // "t3core" timeline (nil-safe)
 	mTrigger *metrics.Counter // tracker-fired DMA triggers
 	mRemote  *metrics.Counter // remote-mapped production stores
+
+	// Invariant-checker handles (nil-safe; nil without FusedOptions.Check).
+	chkRing *check.Ledger // wire bytes: injected into ring links vs delivered
+	chkDMA  *check.Once   // one triggered DMA per dma_mapped tile
+
+	// testDropIncoming, when positive, silently discards that many mirrored
+	// incoming updates — a deliberately injected conservation bug used by the
+	// checker's falsifiability test. Never set outside tests.
+	testDropIncoming int
 }
 
 // emit records an observability event to the attached EventLog and mirrors
@@ -197,29 +222,49 @@ func (r *fusedRun) emit(kind EventKind, stage int, tile TileID) {
 // timing and traffic. This is the paper's T3 (Arbitration=ArbRoundRobin) or
 // T3-MCA (ArbMCA) configuration for one sub-layer.
 func RunFusedGEMMRS(o FusedOptions) (FusedResult, error) {
-	if err := o.Validate(); err != nil {
+	r, err := newFusedRun(o)
+	if err != nil {
 		return FusedResult{}, err
+	}
+	return r.run()
+}
+
+// newFusedRun validates the options and builds the run: engine, memory
+// controller, ring links, tracker/DMA programming, and the producer kernel —
+// everything except starting the simulation. Tests construct runs directly to
+// inject faults before run().
+func newFusedRun(o FusedOptions) (*fusedRun, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
 	}
 	if o.Metrics != nil && o.Memory.Metrics == nil {
 		o.Memory.Metrics = o.Metrics
 	}
+	if o.Check != nil && o.Memory.Check == nil {
+		o.Memory.Check = o.Check
+	}
 	r := &fusedRun{o: o, eng: sim.NewEngine()}
+	r.eng.AttachChecker(o.Check)
 	if m := o.Metrics; m != nil {
 		r.mtrack = m.Track("t3core")
 		r.mTrigger = m.Counter("t3core.tracker.triggers")
 		r.mRemote = m.Counter("t3core.remote_write_tiles")
 	}
+	if c := o.Check; c != nil {
+		r.chkRing = c.Ledger("t3core.ring")
+		r.chkDMA = c.Once("t3core.dma")
+	}
 
-	arb := o.CustomArbiter
-	if arb == nil {
+	r.arb = o.CustomArbiter
+	if r.arb == nil {
 		var err error
-		if arb, err = newArbiter(o.Arbitration); err != nil {
-			return FusedResult{}, err
+		if r.arb, err = newArbiter(o.Arbitration); err != nil {
+			return nil, err
 		}
 	}
-	mc, err := memory.NewController(r.eng, o.Memory, arb)
+	mc, err := memory.NewController(r.eng, o.Memory, r.arb)
 	if err != nil {
-		return FusedResult{}, err
+		return nil, err
 	}
 	r.mem = mc
 	if o.Observer != nil {
@@ -232,26 +277,29 @@ func RunFusedGEMMRS(o FusedOptions) (FusedResult, error) {
 	for i := 0; i < nLinks; i++ {
 		link, err := interconnect.NewLink(r.eng, o.Link)
 		if err != nil {
-			return FusedResult{}, err
+			return nil, err
+		}
+		name := "fwd0"
+		if o.Collective == DirectReduceScatter {
+			name = fmt.Sprintf("link%d", i)
 		}
 		if o.Metrics != nil {
-			name := "fwd0"
-			if o.Collective == DirectReduceScatter {
-				name = fmt.Sprintf("link%d", i)
-			}
 			link.AttachMetrics(o.Metrics, name)
+		}
+		if o.Check != nil {
+			link.AttachChecker(o.Check, name)
 		}
 		r.links = append(r.links, link)
 	}
 
 	if err := r.setupTiles(); err != nil {
-		return FusedResult{}, err
+		return nil, err
 	}
 	if err := r.setupTracker(); err != nil {
-		return FusedResult{}, err
+		return nil, err
 	}
 
-	kernel := &gpu.GEMMKernel{
+	r.kernel = &gpu.GEMMKernel{
 		Eng:               r.eng,
 		Mem:               mc,
 		GPU:               o.GPU,
@@ -266,7 +314,14 @@ func RunFusedGEMMRS(o FusedOptions) (FusedResult, error) {
 			r.emit(EventStageComputed, stage, TileID{})
 		},
 	}
-	if err := kernel.Start(func() {
+	return r, nil
+}
+
+// run starts the producer, drains the engine, applies the end-of-run
+// invariant checks, and assembles the result.
+func (r *fusedRun) run() (FusedResult, error) {
+	o := r.o
+	if err := r.kernel.Start(func() {
 		r.result.GEMMDone = r.eng.Now()
 		r.emit(EventGEMMDone, 0, TileID{})
 		if r.mtrack != nil {
@@ -275,7 +330,10 @@ func RunFusedGEMMRS(o FusedOptions) (FusedResult, error) {
 	}); err != nil {
 		return FusedResult{}, err
 	}
-	r.eng.Run()
+	wall := r.eng.Run()
+	// End-of-run laws are checked before the stall/error returns below: a
+	// stalled run is exactly the kind the violations explain.
+	r.endChecks(wall)
 	if r.err != nil {
 		return FusedResult{}, r.err
 	}
@@ -283,21 +341,56 @@ func RunFusedGEMMRS(o FusedOptions) (FusedResult, error) {
 		return FusedResult{}, fmt.Errorf("t3core: fused run stalled: %d owned tiles outstanding",
 			r.ownedFence.Remaining())
 	}
-	r.result.DRAM = *mc.Counters()
+	r.result.DRAM = *r.mem.Counters()
 	for _, l := range r.links {
 		r.result.LinkBytes += l.SentBytes()
 	}
 	r.result.TrackerMaxLive = r.tracker.MaxLive()
 	r.result.DMATriggered = r.dma.Triggered()
-	if mca, ok := arb.(*memory.MCA); ok {
+	if mca, ok := r.arb.(*memory.MCA); ok {
 		r.result.MCAThreshold = mca.Threshold()
 	}
-	r.result.StageReads = kernel.StageReads()
+	r.result.StageReads = r.kernel.StageReads()
 	if m := o.Metrics; m != nil {
 		m.Gauge("t3core.tracker.max_live").Set(int64(r.result.TrackerMaxLive))
 		m.Gauge("t3core.dma.triggered").Set(r.result.DMATriggered)
 	}
 	return r.result, nil
+}
+
+// endChecks applies the laws that only hold once the simulation has drained.
+func (r *fusedRun) endChecks(wall units.Time) {
+	c := r.o.Check
+	if !c.Enabled() {
+		return
+	}
+	r.chkRing.Close(wall)
+	if live := r.tracker.Live(); live != 0 {
+		c.Violationf(wall, "t3core.tracker", check.RuleConservation+"/drain",
+			"%d live entries after drain, want 0", live)
+	}
+	if fired, want := r.tracker.Fired(), int64(r.trackedTiles()); fired != want {
+		c.Violationf(wall, "t3core.tracker", check.RuleConservation+"/fired",
+			"%d tiles fired, want %d", fired, want)
+	}
+	if ml, limit := r.tracker.MaxLive(), r.tracker.Capacity(); ml > limit {
+		c.Violationf(wall, "t3core.tracker", check.RuleBound+"/occupancy",
+			"%d live entries exceed sets×ways = %d", ml, limit)
+	}
+	if r.result.CollectiveDone < r.result.GEMMDone {
+		c.Violationf(wall, "t3core.spans", check.RuleOrdering+"/nesting",
+			"collective done %v before gemm done %v", r.result.CollectiveDone, r.result.GEMMDone)
+	}
+	if r.result.Done < r.result.CollectiveDone {
+		c.Violationf(wall, "t3core.spans", check.RuleOrdering+"/nesting",
+			"drain done %v before collective done %v", r.result.Done, r.result.CollectiveDone)
+	}
+	for i, l := range r.links {
+		if busy := l.BusyTime(); busy > wall {
+			c.Violationf(wall, fmt.Sprintf("t3core.link%d", i), check.RuleBound+"/busy-time",
+				"link busy %v exceeds wall time %v", busy, wall)
+		}
+	}
 }
 
 // setupTiles chunks the wavefront-tile space across devices.
@@ -385,6 +478,17 @@ func (r *fusedRun) setupTracker() error {
 	return nil
 }
 
+// trackedTiles returns how many tiles the local tracker must fire over a full
+// run. Ring-RS phase-0 tiles are remote-mapped — their stores leave over the
+// link without touching the local tracker — so only phases 1..n-1 count;
+// direct-RS observes every tile's owned slice locally.
+func (r *fusedRun) trackedTiles() int {
+	if r.o.Collective == DirectReduceScatter {
+		return r.totalTiles
+	}
+	return r.totalTiles - r.phaseSize(0)
+}
+
 // ownedTiles returns how many tiles the device's owned region holds: the
 // last production phase for ring-RS; every tile's owned slice for direct-RS.
 func (r *fusedRun) ownedTiles() int {
@@ -461,7 +565,9 @@ func (r *fusedRun) sendRemote(t int) {
 	}
 	r.mRemote.Inc()
 	r.emit(EventRemoteWrite, 0, r.tileIDOf(t))
+	r.chkRing.Add(int64(r.tileBytes))
 	r.links[0].Send(r.tileBytes, func() {
+		r.chkRing.Sub(r.eng.Now(), int64(r.tileBytes))
 		// Mirror: the neighbor's phase-0 store of the chunk I produce in
 		// phase 1 arrives now, as an NMC update on the comm stream.
 		for _, target := range r.mirrorTargets(t, 0) {
@@ -488,7 +594,9 @@ func (r *fusedRun) sendDirect(t int) {
 		return
 	}
 	for p := 1; p < n; p++ {
+		r.chkRing.Add(int64(sliceBytes))
 		r.links[p-1].Send(sliceBytes, func() {
+			r.chkRing.Sub(r.eng.Now(), int64(sliceBytes))
 			r.mem.Transfer(memory.Update, memory.StreamComm, sliceBytes,
 				memory.Tag{WG: tile / 8, WF: tile % 8}, func() {
 					r.observeBytes(r.tileIDOf(tile), sliceBytes)
@@ -519,6 +627,10 @@ func (r *fusedRun) mirrorTargets(t, p int) []int {
 // incomingUpdate stages an arriving (mirrored) update in local memory on the
 // communication stream and lets the tracker count it.
 func (r *fusedRun) incomingUpdate(target int) {
+	if r.testDropIncoming > 0 {
+		r.testDropIncoming--
+		return
+	}
 	tile := target
 	kind := memory.Update
 	r.mem.Transfer(kind, memory.StreamComm, r.tileBytes,
@@ -556,6 +668,7 @@ func (r *fusedRun) onTileReady(id TileID) {
 		r.err = fmt.Errorf("t3core: tile %+v (phase %d) ready but no DMA command", id, p)
 		return
 	}
+	r.chkDMA.Mark(r.eng.Now(), t)
 	r.mTrigger.Inc()
 	r.emit(EventDMATriggered, 0, id)
 	k := r.o.DMATilesPerBlock
@@ -594,7 +707,9 @@ func (r *fusedRun) dmaSend(p int, tiles []int, total units.Bytes) {
 	head := tiles[0]
 	tag := memory.Tag{WG: head / 8, WF: head % 8}
 	r.mem.Transfer(memory.Read, memory.StreamComm, total, tag, func() {
+		r.chkRing.Add(int64(total))
 		r.links[0].Send(total, func() {
+			r.chkRing.Sub(r.eng.Now(), int64(total))
 			r.mem.Transfer(memory.Update, memory.StreamComm, total, tag, func() {
 				for _, t := range tiles {
 					for _, target := range r.mirrorTargets(t, p) {

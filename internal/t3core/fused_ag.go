@@ -3,6 +3,7 @@ package t3core
 import (
 	"fmt"
 
+	"t3sim/internal/check"
 	"t3sim/internal/gpu"
 	"t3sim/internal/interconnect"
 	"t3sim/internal/memory"
@@ -116,12 +117,21 @@ type agRun struct {
 	done   *sim.Fence
 	result FusedResult
 	err    error
+
+	ledger *check.Ledger // wire-byte conservation witness (nil-safe)
 }
 
 func (r *agRun) run() (FusedResult, error) {
 	o := r.o
 	if o.Metrics != nil && o.Memory.Metrics == nil {
 		o.Memory.Metrics = o.Metrics
+	}
+	if o.Check != nil && o.Memory.Check == nil {
+		o.Memory.Check = o.Check
+	}
+	r.eng.AttachChecker(o.Check)
+	if o.Check != nil {
+		r.ledger = o.Check.Ledger("t3core.ag.ring")
 	}
 	arb, err := newArbiter(o.Arbitration)
 	if err != nil {
@@ -140,6 +150,9 @@ func (r *agRun) run() (FusedResult, error) {
 		return FusedResult{}, err
 	}
 	link.AttachMetrics(o.Metrics, "fwd0")
+	if o.Check != nil {
+		link.AttachChecker(o.Check, "fwd0")
+	}
 	r.link = link
 
 	r.tileBytes = o.Grid.WFTileBytes()
@@ -193,7 +206,8 @@ func (r *agRun) run() (FusedResult, error) {
 	if err := kernel.Start(func() { r.result.GEMMDone = r.eng.Now() }); err != nil {
 		return FusedResult{}, err
 	}
-	r.eng.Run()
+	wall := r.eng.Run()
+	r.endChecks(wall)
 	if r.err != nil {
 		return FusedResult{}, r.err
 	}
@@ -209,6 +223,35 @@ func (r *agRun) run() (FusedResult, error) {
 	}
 	r.result.StageReads = kernel.StageReads()
 	return r.result, nil
+}
+
+// endChecks applies the all-gather's end-of-run laws.
+func (r *agRun) endChecks(wall units.Time) {
+	c := r.o.Check
+	if !c.Enabled() {
+		return
+	}
+	r.ledger.Close(wall)
+	if live := r.trk.Live(); live != 0 {
+		c.Violationf(wall, "t3core.ag.tracker", check.RuleConservation+"/drain",
+			"%d live entries after drain, want 0", live)
+	}
+	if fired, want := r.trk.Fired(), int64((r.o.Devices-1)*r.shardTiles); fired != want {
+		c.Violationf(wall, "t3core.ag.tracker", check.RuleConservation+"/fired",
+			"%d tiles fired, want %d", fired, want)
+	}
+	if ml, limit := r.trk.MaxLive(), r.trk.Capacity(); ml > limit {
+		c.Violationf(wall, "t3core.ag.tracker", check.RuleBound+"/occupancy",
+			"%d live entries exceed sets×ways = %d", ml, limit)
+	}
+	if r.result.Done < r.result.CollectiveDone {
+		c.Violationf(wall, "t3core.ag.spans", check.RuleOrdering+"/nesting",
+			"drain done %v before collective done %v", r.result.Done, r.result.CollectiveDone)
+	}
+	if busy := r.link.BusyTime(); busy > wall {
+		c.Violationf(wall, "t3core.ag.link", check.RuleBound+"/busy-time",
+			"link busy %v exceeds wall time %v", busy, wall)
+	}
 }
 
 func (r *agRun) tileID(t, hop int) TileID {
@@ -237,7 +280,11 @@ func (r *agRun) writeStage(_, wgs int, _ units.Bytes, onDone sim.Handler) {
 		tile := t
 		r.mem.Transfer(memory.Write, memory.StreamCompute, r.tileBytes,
 			memory.Tag{WG: tile / 8, WF: tile % 8}, fence.Done)
-		r.link.Send(r.tileBytes, func() { r.arrive(tile, 1) })
+		r.ledger.Add(int64(r.tileBytes))
+		r.link.Send(r.tileBytes, func() {
+			r.ledger.Sub(r.eng.Now(), int64(r.tileBytes))
+			r.arrive(tile, 1)
+		})
 	}
 }
 
@@ -266,7 +313,11 @@ func (r *agRun) onReady(id TileID) {
 	t := g % r.shardTiles
 	r.mem.Transfer(memory.Read, memory.StreamComm, cmd.Bytes,
 		memory.Tag{WG: id.WG, WF: id.WF}, func() {
-			r.link.Send(cmd.Bytes, func() { r.arrive(t, hop+1) })
+			r.ledger.Add(int64(cmd.Bytes))
+			r.link.Send(cmd.Bytes, func() {
+				r.ledger.Sub(r.eng.Now(), int64(cmd.Bytes))
+				r.arrive(t, hop+1)
+			})
 		})
 }
 
@@ -285,12 +336,21 @@ type a2aRun struct {
 
 	done   *sim.Fence
 	result FusedResult
+
+	ledger *check.Ledger // wire-byte conservation witness (nil-safe)
 }
 
 func (r *a2aRun) run() (FusedResult, error) {
 	o := r.o
 	if o.Metrics != nil && o.Memory.Metrics == nil {
 		o.Memory.Metrics = o.Metrics
+	}
+	if o.Check != nil && o.Memory.Check == nil {
+		o.Memory.Check = o.Check
+	}
+	r.eng.AttachChecker(o.Check)
+	if o.Check != nil {
+		r.ledger = o.Check.Ledger("t3core.a2a.ring")
 	}
 	arb, err := newArbiter(o.Arbitration)
 	if err != nil {
@@ -309,6 +369,9 @@ func (r *a2aRun) run() (FusedResult, error) {
 		return FusedResult{}, err
 	}
 	link.AttachMetrics(o.Metrics, "fwd0")
+	if o.Check != nil {
+		link.AttachChecker(o.Check, "fwd0")
+	}
 	r.link = link
 
 	r.tileBytes = o.Grid.WFTileBytes()
@@ -341,7 +404,8 @@ func (r *a2aRun) run() (FusedResult, error) {
 	if err := kernel.Start(func() { r.result.GEMMDone = r.eng.Now() }); err != nil {
 		return FusedResult{}, err
 	}
-	r.eng.Run()
+	wall := r.eng.Run()
+	r.endChecks(wall)
 	if !r.done.Fired() {
 		return FusedResult{}, fmt.Errorf("t3core: fused all-to-all stalled: %d outstanding", r.done.Remaining())
 	}
@@ -352,6 +416,24 @@ func (r *a2aRun) run() (FusedResult, error) {
 	}
 	r.result.StageReads = kernel.StageReads()
 	return r.result, nil
+}
+
+// endChecks applies the all-to-all's end-of-run laws (no tracker: nothing is
+// reduced or forwarded, so only the wire ledger and timing laws apply).
+func (r *a2aRun) endChecks(wall units.Time) {
+	c := r.o.Check
+	if !c.Enabled() {
+		return
+	}
+	r.ledger.Close(wall)
+	if r.result.Done < r.result.CollectiveDone {
+		c.Violationf(wall, "t3core.a2a.spans", check.RuleOrdering+"/nesting",
+			"drain done %v before collective done %v", r.result.Done, r.result.CollectiveDone)
+	}
+	if busy := r.link.BusyTime(); busy > wall {
+		c.Violationf(wall, "t3core.a2a.link", check.RuleBound+"/busy-time",
+			"link busy %v exceeds wall time %v", busy, wall)
+	}
 }
 
 // writeStage routes each tile: the last chunk (production order) stays
@@ -392,7 +474,9 @@ func (r *a2aRun) writeStage(_, wgs int, _ units.Bytes, onDone sim.Handler) {
 		// Remote-mapped: not written locally at all (§7.1). The mirror is a
 		// peer's tile for my inbound region arriving as a comm-stream write.
 		tile := t
+		r.ledger.Add(int64(r.tileBytes))
 		r.link.Send(r.tileBytes, func() {
+			r.ledger.Sub(r.eng.Now(), int64(r.tileBytes))
 			r.mem.Transfer(memory.Write, memory.StreamComm, r.tileBytes,
 				memory.Tag{WG: tile / 8, WF: tile % 8}, func() { r.done.Done() })
 		})

@@ -99,6 +99,7 @@ func RunFusedGEMMRSMultiDevice(o FusedOptions) (MultiDeviceResult, error) {
 		return MultiDeviceResult{}, fmt.Errorf("t3core: multi-device run supports SplitK=1 only")
 	}
 	r := &multiRun{o: o, eng: sim.NewEngine()}
+	r.eng.AttachChecker(o.Check)
 	n := o.Devices
 	r.tileBytes = o.Grid.WFTileBytes()
 	r.totalTiles = o.Grid.NumWFs()
@@ -191,6 +192,9 @@ func (r *multiRun) newDevice(d int) (*multiDevice, error) {
 	if o.Metrics != nil {
 		sink = o.Metrics.Scope(fmt.Sprintf("dev%d", d))
 		o.Memory.Metrics = sink
+	}
+	if o.Check != nil && o.Memory.Check == nil {
+		o.Memory.Check = o.Check
 	}
 	mc, err := memory.NewController(r.eng, o.Memory, arb)
 	if err != nil {

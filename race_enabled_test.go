@@ -1,0 +1,7 @@
+//go:build race
+
+package t3sim_test
+
+// raceEnabled reports whether the race detector instruments this build; the
+// golden suite skips itself under -race (see golden_test.go).
+const raceEnabled = true

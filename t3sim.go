@@ -40,6 +40,7 @@
 package t3sim
 
 import (
+	"t3sim/internal/check"
 	"t3sim/internal/collective"
 	"t3sim/internal/gemm"
 	"t3sim/internal/gpu"
@@ -222,6 +223,26 @@ type (
 // NewMetricsRegistry returns an empty registry. Call EnableTimeline before
 // running to record spans; export with WriteMetrics / WriteTrace.
 func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// Simulation invariant checking (the check subsystem).
+type (
+	// Checker collects invariant violations from every simulation it is
+	// attached to (via FusedOptions.Check, the collective Options, or the
+	// experiment Setup). A nil *Checker is valid everywhere and costs
+	// nothing on the simulation hot paths.
+	Checker = check.Checker
+	// CheckViolation is one recorded invariant violation: the simulated
+	// time, the model path, the rule id, and a message.
+	CheckViolation = check.Violation
+)
+
+// NewChecker returns a checker that records violations for post-run
+// inspection via Violations and Err.
+func NewChecker() *Checker { return check.New() }
+
+// NewStrictChecker returns a checker that panics on the first violation,
+// capturing the failing simulation's stack at the moment the invariant broke.
+func NewStrictChecker() *Checker { return check.NewStrict() }
 
 // MemoryAccessKind classifies DRAM requests (reads, plain stores, NMC
 // op-and-store updates).
