@@ -20,6 +20,10 @@
 // as a Perfetto-loadable Chrome trace-event file (one Perfetto process per
 // configuration), and -metrics out.json dumps the final counters and gauges;
 // both are deterministic at any -j.
+//
+// Profiling the simulator itself on a custom sweep (same flags as cmd/t3sim):
+//
+//	t3sweep -devices 8,16,32 -j 1 -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
@@ -28,6 +32,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -35,6 +40,12 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run is main with an exit code: early failures return through the deferred
+// profile writers instead of bypassing them with os.Exit.
+func run() (code int) {
 	var (
 		m     = flag.Int("m", 8192, "GEMM M (rows of the output)")
 		n     = flag.Int("n", 4096, "GEMM N (columns of the output)")
@@ -54,39 +65,64 @@ func main() {
 			"write a Perfetto-loadable trace-event timeline of the sweep to this JSON file")
 		metricsOut = flag.String("metrics", "",
 			"write every configuration's final counters and gauges to this JSON file")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
 
+	// Registered before the CPU profile starts (LIFO): the CPU profile is
+	// stopped and flushed first, then the heap profile is written.
+	if *memprofile != "" {
+		defer func() {
+			if err := writeMemProfile(*memprofile); err != nil {
+				fmt.Fprintf(os.Stderr, "t3sweep: -memprofile: %v\n", err)
+				code = 1
+			}
+		}()
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fail(fmt.Errorf("-cpuprofile: %w", err))
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fail(fmt.Errorf("-cpuprofile: %w", err))
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+
 	arbitration, err := parseArb(*arb)
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 	collective, err := parseCollective(*coll)
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 	deviceList, err := parseInts(*devs)
 	if err != nil {
-		fail(fmt.Errorf("bad -devices: %w", err))
+		return fail(fmt.Errorf("bad -devices: %w", err))
 	}
 	linkList, err := parseFloats(*links)
 	if err != nil {
-		fail(fmt.Errorf("bad -links: %w", err))
+		return fail(fmt.Errorf("bad -links: %w", err))
 	}
 	cuList, err := parseInts(*cus)
 	if err != nil {
-		fail(fmt.Errorf("bad -cus: %w", err))
+		return fail(fmt.Errorf("bad -cus: %w", err))
 	}
 
 	grid, err := t3sim.NewGrid(
 		t3sim.GEMMShape{M: *m, N: *n, K: *k, ElemBytes: t3sim.Bytes(*elem)},
 		t3sim.DefaultTiling())
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 
 	if *jobs < 1 {
-		fail(fmt.Errorf("-j %d: need at least one job", *jobs))
+		return fail(fmt.Errorf("-j %d: need at least one job", *jobs))
 	}
 
 	// One registry collects the whole sweep; every configuration registers
@@ -163,17 +199,17 @@ func main() {
 	for i := range sweep {
 		r := <-slots[i]
 		if r.err != nil {
-			fail(r.err)
+			return fail(r.err)
 		}
 		fmt.Print(r.row)
 	}
 
 	if reg != nil {
 		if err := writeExport(*timeline, reg.WriteTrace); err != nil {
-			fail(fmt.Errorf("-timeline: %w", err))
+			return fail(fmt.Errorf("-timeline: %w", err))
 		}
 		if err := writeExport(*metricsOut, reg.WriteMetrics); err != nil {
-			fail(fmt.Errorf("-metrics: %w", err))
+			return fail(fmt.Errorf("-metrics: %w", err))
 		}
 	}
 	if checker != nil {
@@ -181,9 +217,24 @@ func main() {
 			for _, v := range vs {
 				fmt.Fprintf(os.Stderr, "t3sweep: -check: %s\n", v)
 			}
-			os.Exit(1)
+			return 1
 		}
 	}
+	return 0
+}
+
+// writeMemProfile snapshots the heap allocation profile to path.
+func writeMemProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC() // materialize up-to-date allocation stats
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeExport writes one metrics exporter's output to path; "" skips.
@@ -318,7 +369,8 @@ func parseFloats(s string) ([]float64, error) {
 	return out, nil
 }
 
-func fail(err error) {
+// fail reports err and returns the failing exit code for run to propagate.
+func fail(err error) int {
 	fmt.Fprintf(os.Stderr, "t3sweep: %v\n", err)
-	os.Exit(1)
+	return 1
 }

@@ -29,8 +29,13 @@ type Runner struct {
 }
 
 // NewRunner returns a runner over the setup; jobs bounds the evaluator's
-// internal parallelism (1 = fully serial, 0 = GOMAXPROCS).
+// internal parallelism (1 = fully serial, 0 = GOMAXPROCS). Unless the setup
+// already carries one, the runner installs a fresh MemoCache so repeated
+// simulations across the catalogue are paid for once.
 func NewRunner(setup Setup, jobs int) *Runner {
+	if setup.Memo == nil {
+		setup.Memo = NewMemoCache()
+	}
 	return &Runner{setup: setup, jobs: jobs}
 }
 

@@ -1,0 +1,339 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"hash"
+	"io"
+	"math"
+	"reflect"
+	"sync"
+
+	"t3sim/internal/memory"
+	"t3sim/internal/t3core"
+	"t3sim/internal/units"
+)
+
+// This file implements the process-wide content-addressed result cache. The
+// catalogue re-simulates the same sub-layer under many guises: the ablation
+// sweeps re-run their baseline point (round-robin and MCA arbitration, the
+// 2.0x NMC factor, one-tile DMA blocks, the flat DRAM model, the default
+// link bandwidth) with options byte-identical to runs the shared evaluator
+// already paid for, and the link sweep builds a whole derived evaluator
+// whose 150 GB/s row equals the base case. Every simulation owns a private
+// engine and is deterministic, so identical options imply identical
+// results — the cache keys runs by a canonical hash of every timing-relevant
+// option and serves repeats without simulating.
+//
+// Soundness rests on two invariants:
+//
+//   - The key covers EVERY field that can change a run's timing or results.
+//     The hash walks option structs by reflection under an explicit per-field
+//     policy (hash / skip / barrier); TestMemoPolicyExhaustive fails the
+//     build's tests the moment FusedOptions or memory.Config grows a field
+//     the policy table does not name, so a new knob cannot silently alias
+//     two different runs.
+//   - Runs whose value is a side effect are never served from cache. Any
+//     non-nil observer hook (Observer, CustomArbiter, Events, Metrics,
+//     memory Metrics) makes the options uncacheable: a cache hit would skip
+//     the recording the caller asked for. The invariant checker (Check) is
+//     deliberately NOT a barrier — it is a pure violation collector over a
+//     deterministic run, and a replayed run witnesses exactly what the first
+//     one did — so the golden harness, which attaches a checker to every
+//     run, still shares simulations.
+//
+// Cached values are shared between callers; treat them as immutable (this
+// matters for FusedResult.StageReads, whose slice is aliased by every hit).
+
+// memoKey is a collision-resistant digest of one simulation's options.
+type memoKey [sha256.Size]byte
+
+// fieldPolicy says how the canonical hasher treats one struct field.
+type fieldPolicy int
+
+const (
+	// policyHash folds the field's value into the key (the default for
+	// fields of types without a policy table: over-keying is safe).
+	policyHash fieldPolicy = iota
+	// policySkip leaves the field out of the key: it cannot change the
+	// run's observable result (e.g. the pure-collector invariant checker).
+	policySkip
+	// policyBarrier makes the options uncacheable when the field is
+	// non-zero: the field is an observer whose value is the side effect.
+	policyBarrier
+)
+
+// hashPolicies names the treatment of every field of the option structs the
+// key covers. TestMemoPolicyExhaustive keeps these tables in lockstep with
+// the structs: adding a field to either struct without classifying it here
+// is a test failure, not a silent stale-key bug.
+var hashPolicies = map[reflect.Type]map[string]fieldPolicy{
+	reflect.TypeOf(t3core.FusedOptions{}): {
+		"GPU":                policyHash,
+		"Memory":             policyHash,
+		"Link":               policyHash,
+		"Tracker":            policyHash,
+		"Devices":            policyHash,
+		"Grid":               policyHash,
+		"Arbitration":        policyHash,
+		"Collective":         policyHash,
+		"GEMMCUs":            policyHash,
+		"DMATilesPerBlock":   policyHash,
+		"DoubleBufferedGEMM": policyHash,
+		"Observer":           policyBarrier,
+		"CustomArbiter":      policyBarrier,
+		"Events":             policyBarrier,
+		"Metrics":            policyBarrier,
+		"Check":              policySkip,
+	},
+	reflect.TypeOf(memory.Config{}): {
+		"Channels":           policyHash,
+		"TotalBandwidth":     policyHash,
+		"RequestGranularity": policyHash,
+		"QueueDepth":         policyHash,
+		"ReadLatency":        policyHash,
+		"UpdateFactor":       policyHash,
+		"Banks":              policyHash,
+		"Metrics":            policyBarrier,
+		"Check":              policySkip,
+	},
+}
+
+// memoHasher folds option values into a canonical digest. ok drops to false
+// at the first value the cache must not key on (a live observer hook, or a
+// kind the walker does not understand — the safe default for anything new).
+type memoHasher struct {
+	h   hash.Hash
+	buf [8]byte
+	ok  bool
+}
+
+func newMemoHasher() *memoHasher {
+	return &memoHasher{h: sha256.New(), ok: true}
+}
+
+func (m *memoHasher) word(v uint64) {
+	m.buf[0] = byte(v)
+	m.buf[1] = byte(v >> 8)
+	m.buf[2] = byte(v >> 16)
+	m.buf[3] = byte(v >> 24)
+	m.buf[4] = byte(v >> 32)
+	m.buf[5] = byte(v >> 40)
+	m.buf[6] = byte(v >> 48)
+	m.buf[7] = byte(v >> 56)
+	m.h.Write(m.buf[:])
+}
+
+// value folds one value. Scalars hash their bits, structs walk their fields
+// under the policy table, pointers hash a nil flag plus the pointee.
+// Anything else is only hashable when nil; a non-nil func, interface, slice,
+// map or channel poisons the key.
+func (m *memoHasher) value(v reflect.Value) {
+	if !m.ok {
+		return
+	}
+	switch v.Kind() {
+	case reflect.Bool:
+		if v.Bool() {
+			m.word(1)
+		} else {
+			m.word(0)
+		}
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		m.word(uint64(v.Int()))
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr:
+		m.word(v.Uint())
+	case reflect.Float32, reflect.Float64:
+		m.word(math.Float64bits(v.Float()))
+	case reflect.String:
+		s := v.String()
+		m.word(uint64(len(s)))
+		io.WriteString(m.h, s)
+	case reflect.Pointer:
+		if v.IsNil() {
+			m.word(0)
+			return
+		}
+		m.word(1)
+		m.value(v.Elem())
+	case reflect.Struct:
+		m.structValue(v)
+	case reflect.Interface, reflect.Func, reflect.Slice, reflect.Map, reflect.Chan:
+		if v.IsNil() {
+			m.word(0)
+			return
+		}
+		m.ok = false
+	default:
+		m.ok = false
+	}
+}
+
+func (m *memoHasher) structValue(v reflect.Value) {
+	policy := hashPolicies[v.Type()]
+	for i := 0; i < v.NumField() && m.ok; i++ {
+		switch policy[v.Type().Field(i).Name] {
+		case policyHash:
+			m.word(uint64(i)) // field position delimits adjacent values
+			m.value(v.Field(i))
+		case policySkip:
+		case policyBarrier:
+			if !v.Field(i).IsZero() {
+				m.ok = false
+			}
+		}
+	}
+}
+
+func (m *memoHasher) sum() (memoKey, bool) {
+	if !m.ok {
+		return memoKey{}, false
+	}
+	var k memoKey
+	m.h.Sum(k[:0])
+	return k, true
+}
+
+// normalizeFused canonicalizes option encodings that mean the same schedule,
+// so spelling variants share a key.
+func normalizeFused(o t3core.FusedOptions) t3core.FusedOptions {
+	if o.DMATilesPerBlock <= 1 {
+		o.DMATilesPerBlock = 1 // 0 and 1 both mean one tile per DMA
+	}
+	return o
+}
+
+// fusedKey returns the canonical key of one fused run, and whether the run
+// may be served from cache at all.
+func fusedKey(o t3core.FusedOptions) (memoKey, bool) {
+	m := newMemoHasher()
+	m.value(reflect.ValueOf(normalizeFused(o)))
+	return m.sum()
+}
+
+// sublayerKey keys a full sub-layer evaluation: the fused options determine
+// the three simulations (the isolated GEMM reuses their GPU, memory and
+// grid), and the analytic collectives additionally read the collective
+// volume and the CU-confined bandwidth model.
+func sublayerKey(o t3core.FusedOptions, arBytes units.Bytes,
+	cus int, perCU units.Bandwidth) (memoKey, bool) {
+	m := newMemoHasher()
+	m.value(reflect.ValueOf(normalizeFused(o)))
+	m.value(reflect.ValueOf(arBytes))
+	m.value(reflect.ValueOf(cus))
+	m.value(reflect.ValueOf(perCU))
+	return m.sum()
+}
+
+// memoCall is one in-flight computation waiters block on.
+type memoCall[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// memoTable is one key space of the cache: a result map plus a singleflight
+// layer, so racing lookups of the same key compute once and share.
+type memoTable[V any] struct {
+	mu       sync.Mutex
+	vals     map[memoKey]V
+	inflight map[memoKey]*memoCall[V]
+	hits     int64
+	misses   int64
+}
+
+// do returns the cached value for k, waits on an in-flight computation of
+// k, or runs f and caches its result. Errors are returned but never cached:
+// later callers retry rather than inherit a stale failure.
+func (t *memoTable[V]) do(k memoKey, f func() (V, error)) (V, error) {
+	t.mu.Lock()
+	if v, ok := t.vals[k]; ok {
+		t.hits++
+		t.mu.Unlock()
+		return v, nil
+	}
+	if c, ok := t.inflight[k]; ok {
+		t.hits++
+		t.mu.Unlock()
+		<-c.done
+		return c.val, c.err
+	}
+	t.misses++
+	if t.vals == nil {
+		t.vals = map[memoKey]V{}
+		t.inflight = map[memoKey]*memoCall[V]{}
+	}
+	c := &memoCall[V]{done: make(chan struct{})}
+	t.inflight[k] = c
+	t.mu.Unlock()
+
+	c.val, c.err = f()
+
+	t.mu.Lock()
+	if c.err == nil {
+		t.vals[k] = c.val
+	}
+	delete(t.inflight, k)
+	t.mu.Unlock()
+	close(c.done)
+	return c.val, c.err
+}
+
+// stats returns the table's hit/miss counts so far.
+func (t *memoTable[V]) stats() (hits, misses int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.hits, t.misses
+}
+
+// MemoCache memoizes whole simulations by canonical option hash. One cache
+// is shared across every evaluator and ablation a Runner spawns (including
+// derived setups that copy the Setup, as the link sweep does), so the
+// catalogue pays for each distinct simulation once per process. Safe for
+// concurrent use.
+type MemoCache struct {
+	fused    memoTable[t3core.FusedResult]
+	sublayer memoTable[SublayerResult]
+}
+
+// NewMemoCache returns an empty cache.
+func NewMemoCache() *MemoCache {
+	return &MemoCache{}
+}
+
+// FusedRS runs the single-GPU fused simulation for o, serving a cached
+// result when an identical run already completed. Uncacheable options (any
+// live observer hook) always simulate. The returned result may be shared
+// with other callers: treat it as immutable.
+func (m *MemoCache) FusedRS(o t3core.FusedOptions) (t3core.FusedResult, error) {
+	k, ok := fusedKey(o)
+	if !ok {
+		return t3core.RunFusedGEMMRS(o)
+	}
+	return m.fused.do(k, func() (t3core.FusedResult, error) {
+		return t3core.RunFusedGEMMRS(o)
+	})
+}
+
+// Stats sums hit/miss counts over both key spaces (fused runs and full
+// sub-layer evaluations). A singleflight wait counts as a hit.
+func (m *MemoCache) Stats() (hits, misses int64) {
+	fh, fm := m.fused.stats()
+	sh, sm := m.sublayer.stats()
+	return fh + sh, fm + sm
+}
+
+// memoFusedRS is FusedRS tolerant of a nil cache, for call sites whose
+// Setup may not carry one.
+func memoFusedRS(m *MemoCache, o t3core.FusedOptions) (t3core.FusedResult, error) {
+	if m == nil {
+		return t3core.RunFusedGEMMRS(o)
+	}
+	return m.FusedRS(o)
+}
+
+// memoSublayer serves (or computes and caches) one full sub-layer
+// evaluation. The caller must have derived key from the evaluation's
+// options via sublayerKey.
+func (m *MemoCache) memoSublayer(key memoKey, f func() (SublayerResult, error)) (SublayerResult, error) {
+	return m.sublayer.do(key, f)
+}

@@ -53,7 +53,7 @@ func MirrorValidation(setup Setup) (*MirrorResult, error) {
 			Arbitration: t3core.ArbRoundRobin,
 			Check:       setup.Check,
 		}
-		mirror, err := t3core.RunFusedGEMMRS(opts)
+		mirror, err := memoFusedRS(setup.Memo, opts)
 		if err != nil {
 			return nil, err
 		}

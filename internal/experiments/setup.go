@@ -40,6 +40,14 @@ type Setup struct {
 	// invariant violations across the whole sweep; a single checker is safe
 	// to share at any -j. Nil costs nothing.
 	Check *check.Checker
+	// Memo, if non-nil, is the process-wide content-addressed result cache:
+	// sub-layer evaluations and single-GPU fused runs are keyed by a
+	// canonical hash of every timing-relevant option (see memo.go), so
+	// identical simulations across catalogue entries — and across derived
+	// setups that copy this Setup, like the ablation link sweep — run once.
+	// NewRunner installs one automatically; leave nil to force every run to
+	// simulate. Cached results are shared: treat them as immutable.
+	Memo *MemoCache
 }
 
 // DefaultSetup mirrors Table 1. The tracker keeps the paper's 256 sets but

@@ -215,21 +215,11 @@ func (e *Evaluator) EvaluateAll(cases []SubCase) ([]SublayerResult, error) {
 }
 
 func (e *Evaluator) evaluate(c SubCase) (SublayerResult, error) {
-	if e.onEvaluate != nil {
-		e.onEvaluate(c)
-	}
 	s := e.Setup
 	sl, err := transformer.SubLayerGEMM(c.Model, c.Kind, c.TP)
 	if err != nil {
 		return SublayerResult{}, err
 	}
-	res := SublayerResult{Case: c}
-
-	// The three discrete-event simulations of one case — isolated baseline
-	// GEMM, fused T3 (round-robin arbitration), fused T3-MCA — are fully
-	// independent: each owns a private sim.Engine, so they can run on
-	// separate goroutines with bit-identical results. With Parallelism == 1
-	// they run back-to-back on this goroutine instead.
 	fusedOpts := t3core.FusedOptions{
 		GPU:         s.GPU,
 		Memory:      s.Memory,
@@ -241,6 +231,38 @@ func (e *Evaluator) evaluate(c SubCase) (SublayerResult, error) {
 		Arbitration: t3core.ArbRoundRobin,
 		Check:       s.Check,
 	}
+	// Content-addressed memoization across evaluators: two cases whose
+	// timing-relevant options hash identically (e.g. the ablation link
+	// sweep's derived evaluator at the default bandwidth) share one set of
+	// simulations. Metrics runs are never served from cache — their whole
+	// value is the recording.
+	if m := s.Memo; m != nil && s.Metrics == nil {
+		if key, ok := sublayerKey(fusedOpts, sl.ARBytes, s.CollectiveCUs, s.PerCUMemBandwidth); ok {
+			r, err := m.memoSublayer(key, func() (SublayerResult, error) {
+				return e.simulate(c, sl, fusedOpts)
+			})
+			if err == nil {
+				r.Case = c // a hit may come from an identical twin case
+			}
+			return r, err
+		}
+	}
+	return e.simulate(c, sl, fusedOpts)
+}
+
+// simulate runs the full scheme comparison for one case, unconditionally.
+func (e *Evaluator) simulate(c SubCase, sl transformer.SubLayer, fusedOpts t3core.FusedOptions) (SublayerResult, error) {
+	if e.onEvaluate != nil {
+		e.onEvaluate(c)
+	}
+	s := e.Setup
+	res := SublayerResult{Case: c}
+
+	// The three discrete-event simulations of one case — isolated baseline
+	// GEMM, fused T3 (round-robin arbitration), fused T3-MCA — are fully
+	// independent: each owns a private sim.Engine, so they can run on
+	// separate goroutines with bit-identical results. With Parallelism == 1
+	// they run back-to-back on this goroutine instead.
 	mcaOpts := fusedOpts
 	mcaOpts.Arbitration = t3core.ArbMCA
 
@@ -264,9 +286,12 @@ func (e *Evaluator) evaluate(c SubCase) (SublayerResult, error) {
 		mcaRes    t3core.FusedResult
 		mcaErr    error
 	)
+	// The fused runs go through the fused-level memo so ablations replaying
+	// an identical configuration (or vice versa) reuse them; with metrics
+	// attached the scoped sinks make the options uncacheable automatically.
 	runGEMM := func() { gemmTime, gemmReads, gemmErr = e.isolatedGEMM(sl, false, gemmSink) }
-	runT3 := func() { t3res, t3err = t3core.RunFusedGEMMRS(fusedOpts) }
-	runMCA := func() { mcaRes, mcaErr = t3core.RunFusedGEMMRS(mcaOpts) }
+	runT3 := func() { t3res, t3err = memoFusedRS(s.Memo, fusedOpts) }
+	runMCA := func() { mcaRes, mcaErr = memoFusedRS(s.Memo, mcaOpts) }
 	if e.workers() == 1 {
 		runGEMM()
 		runT3()
@@ -288,6 +313,7 @@ func (e *Evaluator) evaluate(c SubCase) (SublayerResult, error) {
 	res.GEMM = gemmTime
 
 	// Baseline collectives from the validated analytic model (Figure 14).
+	var err error
 	colOpts := collective.AnalyticOptions{
 		Devices:           c.TP,
 		TotalBytes:        sl.ARBytes,

@@ -3,6 +3,7 @@ package memory
 import (
 	"t3sim/internal/check"
 	"t3sim/internal/metrics"
+	"t3sim/internal/sim"
 	"t3sim/internal/units"
 )
 
@@ -13,9 +14,11 @@ type channel struct {
 	ctrl *Controller
 	id   int
 
-	streams          [numStreams][]*Request // waiting, pre-arbitration
-	dramq            []*Request             // issued, waiting for service
-	busy             bool                   // service stage occupied
+	streams          [numStreams]reqRing // waiting, pre-arbitration
+	dramq            reqRing             // issued, waiting for service
+	busy             bool                // service stage occupied
+	inService        *Request            // request occupying the stage
+	svcDone          sim.Handler         // preallocated service-completion handler
 	bw               units.Bandwidth
 	lastComm         units.Time      // last time a comm request was issued (starvation)
 	inflightByStream [numStreams]int // enqueued but not yet fully serviced
@@ -39,7 +42,7 @@ type channel struct {
 // enqueue places a request on its stream queue and kicks arbitration.
 func (ch *channel) enqueue(r *Request) {
 	r.enqueuedAt = ch.ctrl.eng.Now()
-	ch.streams[r.Stream] = append(ch.streams[r.Stream], r)
+	ch.streams[r.Stream].push(r)
 	ch.inflightByStream[r.Stream]++
 	ch.arbitrate()
 }
@@ -47,21 +50,17 @@ func (ch *channel) enqueue(r *Request) {
 // arbitrate moves requests from stream queues into the DRAM queue while the
 // policy allows, then kicks the service stage.
 func (ch *channel) arbitrate() {
-	for len(ch.dramq) < ch.ctrl.cfg.QueueDepth {
+	for ch.dramq.len() < ch.ctrl.cfg.QueueDepth {
 		s, ok := ch.ctrl.arbiter.Next(ch.view())
 		if !ok {
 			break
 		}
-		q := ch.streams[s]
-		if len(q) == 0 {
+		if ch.streams[s].len() == 0 {
 			panic("memory: arbiter selected empty stream")
 		}
-		r := q[0]
-		copy(q, q[1:])
-		q[len(q)-1] = nil
-		ch.streams[s] = q[:len(q)-1]
-		ch.dramq = append(ch.dramq, r)
-		ch.chkDepth.Observe(ch.ctrl.eng.Now(), int64(len(ch.dramq)))
+		r := ch.streams[s].pop()
+		ch.dramq.push(r)
+		ch.chkDepth.Observe(ch.ctrl.eng.Now(), int64(ch.dramq.len()))
 		if s == StreamComm {
 			ch.lastComm = ch.ctrl.eng.Now()
 		}
@@ -77,14 +76,12 @@ func (ch *channel) arbitrate() {
 
 // service drains the DRAM queue head if the stage is free.
 func (ch *channel) service() {
-	if ch.busy || len(ch.dramq) == 0 {
+	if ch.busy || ch.dramq.len() == 0 {
 		return
 	}
-	r := ch.dramq[0]
-	copy(ch.dramq, ch.dramq[1:])
-	ch.dramq[len(ch.dramq)-1] = nil
-	ch.dramq = ch.dramq[:len(ch.dramq)-1]
+	r := ch.dramq.pop()
 	ch.busy = true
+	ch.inService = r
 
 	var t units.Time
 	if ch.banks != nil {
@@ -104,17 +101,38 @@ func (ch *channel) service() {
 	ch.ctrl.counters.add(r.Kind, r.Stream, r.Bytes, ch.ctrl.eng.Now()-r.enqueuedAt)
 	ch.mBytes[r.Kind][r.Stream].Add(int64(r.Bytes))
 	ch.mBusy.Add(int64(t))
-	ch.ctrl.eng.After(t, func() {
-		ch.busy = false
-		ch.inflightByStream[r.Stream]--
-		ch.complete(r)
-		// Freeing the service stage may unblock arbitration (queue depth).
-		ch.arbitrate()
-		ch.ctrl.checkIdle()
-	})
+	ch.ctrl.eng.After(t, ch.svcDone)
 }
 
+// serviceDone is the single completion handler behind svcDone: the channel
+// services one request at a time, so the request it applies to is always
+// inService and no per-service closure is needed.
+func (ch *channel) serviceDone() {
+	r := ch.inService
+	ch.inService = nil
+	ch.busy = false
+	ch.inflightByStream[r.Stream]--
+	ch.complete(r)
+	// Freeing the service stage may unblock arbitration (queue depth).
+	ch.arbitrate()
+	ch.ctrl.checkIdle()
+}
+
+// complete delivers a serviced request's completion. Pooled requests
+// (created by Transfer/TransferTo) are recycled here, before their fence
+// completion is delivered or scheduled — any observer holding the pointer
+// past OnIssue is in violation of the retention contract.
 func (ch *channel) complete(r *Request) {
+	if x := r.xf; x != nil {
+		isRead := r.Kind == Read
+		ch.ctrl.putReq(r)
+		if isRead && ch.ctrl.cfg.ReadLatency > 0 {
+			ch.ctrl.eng.AfterFence(ch.ctrl.cfg.ReadLatency, x.fence)
+		} else {
+			x.fence.Done()
+		}
+		return
+	}
 	if r.OnDone == nil {
 		return
 	}
@@ -127,23 +145,23 @@ func (ch *channel) complete(r *Request) {
 
 // inFlight reports whether the channel has any work anywhere.
 func (ch *channel) inFlight() bool {
-	return ch.busy || len(ch.dramq) > 0 ||
-		len(ch.streams[StreamCompute]) > 0 || len(ch.streams[StreamComm]) > 0
+	return ch.busy || ch.dramq.len() > 0 ||
+		ch.streams[StreamCompute].len() > 0 || ch.streams[StreamComm].len() > 0
 }
 
 func (ch *channel) sampleOccupancy() {
 	ch.occSamples++
-	ch.occSum += int64(len(ch.dramq))
+	ch.occSum += int64(ch.dramq.len())
 }
 
 // view builds the arbiter's snapshot of this channel.
 func (ch *channel) view() ChannelView {
 	return ChannelView{
 		Now:            ch.ctrl.eng.Now(),
-		DRAMOccupancy:  len(ch.dramq),
+		DRAMOccupancy:  ch.dramq.len(),
 		QueueDepth:     ch.ctrl.cfg.QueueDepth,
-		ComputePending: len(ch.streams[StreamCompute]),
-		CommPending:    len(ch.streams[StreamComm]),
+		ComputePending: ch.streams[StreamCompute].len(),
+		CommPending:    ch.streams[StreamComm].len(),
 		LastCommIssue:  ch.lastComm,
 	}
 }

@@ -13,6 +13,12 @@ import (
 // the accesses are enqueued in the memory controller queue" so the check is
 // off the critical path (§4.2.1). The DRAM traffic trace (Figure 17) is also
 // an observer.
+//
+// Retention contract: the *Request is only valid for the duration of the
+// OnIssue call. Requests created by Transfer/TransferTo are pooled and
+// recycled as soon as they finish service, so an observer must read (copy)
+// the fields it needs synchronously and must never store the pointer. Race
+// and `-tags t3debug` builds poison freed requests to catch violations.
 type Observer interface {
 	OnIssue(now units.Time, r *Request)
 }
@@ -35,6 +41,12 @@ type Controller struct {
 	observer Observer
 
 	nextChannel int // striping cursor
+
+	// Freelists for the transaction hot path: every Transfer-created request
+	// and per-transfer fence record is recycled here, so steady-state traffic
+	// allocates nothing (see pool.go and the Request retention contract).
+	reqFree []*Request
+	xfFree  []*xfer
 
 	idleWaiters   []idleWaiter
 	monitorActive bool
@@ -73,6 +85,7 @@ func NewController(eng *sim.Engine, cfg Config, arb Arbiter) (*Controller, error
 	c.channels = make([]*channel, cfg.Channels)
 	for i := range c.channels {
 		ch := &channel{ctrl: c, id: i, bw: perChannel}
+		ch.svcDone = ch.serviceDone // one closure per channel, reused forever
 		if cfg.Banks != nil {
 			ch.banks = newBankTimer(*cfg.Banks)
 		}
@@ -115,7 +128,12 @@ func (c *Controller) SetObserver(o Observer) { c.observer = o }
 func (c *Controller) Arbiter() Arbiter { return c.arbiter }
 
 // Access submits a single request of at most RequestGranularity bytes.
+// Requests submitted here are caller-owned (never pooled); the controller
+// uses the pointer until service completes but does not recycle it.
 func (c *Controller) Access(r *Request) {
+	if poolGuard && r.freed {
+		panic("memory: access of a freed pooled request (retained past its completion)")
+	}
 	if r.Bytes <= 0 {
 		panic("memory: access with non-positive size")
 	}
@@ -138,20 +156,36 @@ func (c *Controller) Transfer(kind AccessKind, stream Stream, total units.Bytes,
 		}
 		return
 	}
-	if c.mtrack != nil {
-		start := c.eng.Now()
-		name := transferSpanName[kind][stream]
-		inner := onDone
-		onDone = func() {
-			c.mtrack.Span(name, start, c.eng.Now())
-			if inner != nil {
-				inner()
-			}
+	c.transfer(kind, stream, total, tag, nil, onDone)
+}
+
+// TransferTo is Transfer with a Completion receiver instead of a func()
+// callback: cb.Complete(tag) runs when the whole transfer has finished.
+// Callers on the hot path use it with a pooled or long-lived receiver so
+// that issuing a transfer allocates nothing. cb may be nil.
+func (c *Controller) TransferTo(kind AccessKind, stream Stream, total units.Bytes, tag Tag, cb Completion) {
+	if total <= 0 {
+		if cb != nil {
+			cb.Complete(tag)
 		}
+		return
 	}
+	c.transfer(kind, stream, total, tag, cb, nil)
+}
+
+// transfer issues the granularity-sized pooled requests for one transfer.
+// total must be positive; exactly one of cb/fn is the completion (both may
+// be nil for fire-and-forget traffic).
+func (c *Controller) transfer(kind AccessKind, stream Stream, total units.Bytes, tag Tag, cb Completion, fn func()) {
 	g := c.cfg.RequestGranularity
 	n := int(units.CeilDiv(int64(total), int64(g)))
-	fence := sim.NewFence(n, onDone)
+	x := c.getXfer(n)
+	x.tag, x.cb, x.fn = tag, cb, fn
+	if c.mtrack != nil {
+		x.track = c.mtrack
+		x.name = transferSpanName[kind][stream]
+		x.start = c.eng.Now()
+	}
 	remaining := total
 	for i := 0; i < n; i++ {
 		sz := g
@@ -159,13 +193,13 @@ func (c *Controller) Transfer(kind AccessKind, stream Stream, total units.Bytes,
 			sz = remaining
 		}
 		remaining -= sz
-		c.Access(&Request{
-			Kind:   kind,
-			Stream: stream,
-			Bytes:  sz,
-			Tag:    tag,
-			OnDone: fence.Done,
-		})
+		r := c.getReq()
+		r.Kind = kind
+		r.Stream = stream
+		r.Bytes = sz
+		r.Tag = tag
+		r.xf = x
+		c.Access(r)
 	}
 }
 

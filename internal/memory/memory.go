@@ -77,6 +77,13 @@ type Tag struct {
 
 // Request is one memory transaction. Large transfers are split into requests
 // of at most Config.RequestGranularity bytes by Controller.Transfer.
+//
+// Retention contract: requests created internally by Transfer/TransferTo are
+// pooled — the controller recycles them the instant their service completes,
+// so any code handed a *Request (Observer.OnIssue, metrics, checker hooks)
+// must copy the fields it needs and must not hold the pointer past the
+// callback. Requests a caller constructs itself and submits via Access are
+// caller-owned and never pooled.
 type Request struct {
 	Kind   AccessKind
 	Stream Stream
@@ -87,6 +94,8 @@ type Request struct {
 	OnDone func()
 
 	enqueuedAt units.Time // set by the controller; feeds the wait statistics
+	xf         *xfer      // owning transfer; non-nil marks a pooled request
+	freed      bool       // pool-guard poison mark (race / t3debug builds)
 }
 
 // Config describes an HBM stack.

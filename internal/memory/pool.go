@@ -1,0 +1,96 @@
+package memory
+
+import (
+	"t3sim/internal/metrics"
+	"t3sim/internal/sim"
+	"t3sim/internal/units"
+)
+
+// Completion receives a transfer's completion together with the transfer's
+// tag. It is the allocation-free alternative to Transfer's func() callback:
+// a caller that serves many transfers implements Complete once on a pooled
+// or long-lived receiver and recovers per-transfer context from the tag,
+// instead of capturing it in a fresh closure per call.
+type Completion interface {
+	Complete(tag Tag)
+}
+
+// xfer is the pooled per-Transfer state: the fence counting outstanding
+// requests and the completion to deliver when it drains. The fence and its
+// onDone closure are allocated once per xfer object and rearmed with
+// Fence.Reset on reuse, so a steady-state transfer costs zero allocations.
+type xfer struct {
+	ctrl  *Controller
+	fence *sim.Fence
+	tag   Tag
+	cb    Completion
+	fn    func()
+
+	// Metrics span state, captured at issue when a track is attached.
+	track *metrics.Track
+	name  string
+	start units.Time
+}
+
+// finish runs when the transfer's last request completes. It records the
+// metrics span, delivers the completion, and only then returns the xfer to
+// the pool — releasing before the callback would let a nested Transfer
+// started by the callback rearm this fence while its Done is still
+// unwinding.
+func (x *xfer) finish() {
+	if x.track != nil {
+		x.track.Span(x.name, x.start, x.ctrl.eng.Now())
+		x.track = nil
+	}
+	cb, fn, tag := x.cb, x.fn, x.tag
+	x.cb, x.fn = nil, nil
+	if cb != nil {
+		cb.Complete(tag)
+	} else if fn != nil {
+		fn()
+	}
+	x.ctrl.xfFree = append(x.ctrl.xfFree, x)
+}
+
+// getXfer returns a transfer record with its fence armed for n completions,
+// reusing a pooled one when available. n must be positive.
+func (c *Controller) getXfer(n int) *xfer {
+	if ln := len(c.xfFree); ln > 0 {
+		x := c.xfFree[ln-1]
+		c.xfFree[ln-1] = nil
+		c.xfFree = c.xfFree[:ln-1]
+		x.fence.Reset(n)
+		return x
+	}
+	x := &xfer{ctrl: c}
+	x.fence = sim.NewFence(n, x.finish)
+	return x
+}
+
+// getReq returns a zeroed pooled request. Requests obtained here are owned
+// by the controller: they are recycled the moment their service completes,
+// so observers and instruments must copy what they need (see Observer).
+func (c *Controller) getReq() *Request {
+	if n := len(c.reqFree); n > 0 {
+		r := c.reqFree[n-1]
+		c.reqFree[n-1] = nil
+		c.reqFree = c.reqFree[:n-1]
+		if poolGuard {
+			unpoisonRequest(r)
+		}
+		return r
+	}
+	return &Request{}
+}
+
+// putReq recycles a pooled request. In guarded builds (-race or -tags
+// t3debug) the request is poisoned so that a retained pointer is detected on
+// its next use instead of silently reading recycled fields.
+func (c *Controller) putReq(r *Request) {
+	r.OnDone = nil
+	r.xf = nil
+	if poolGuard {
+		poisonRequest(r)
+	}
+	c.reqFree = append(c.reqFree, r)
+}

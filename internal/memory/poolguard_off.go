@@ -1,0 +1,12 @@
+//go:build !race && !t3debug
+
+package memory
+
+// poolGuard is off in regular builds: the pooled-request poisoning branches
+// compile away. See poolguard_on.go for the guarded variant.
+const poolGuard = false
+
+func poisonRequest(r *Request)   {}
+func unpoisonRequest(r *Request) {}
+
+func poisoned(r *Request) bool { return false }

@@ -1,0 +1,32 @@
+//go:build race || t3debug
+
+package memory
+
+// poolGuard enables use-after-free detection for pooled requests. It is on
+// in race builds (CI runs `go test -race ./...`) and under `-tags t3debug`,
+// and compiled out entirely otherwise so the guarded branches cost nothing
+// in normal runs.
+const poolGuard = true
+
+// poisonBytes is the size written into a freed pooled request. It is
+// negative, so any freed request that leaks back into Access or a service
+// computation trips a panic or produces loudly-wrong traffic totals.
+const poisonBytes = -1 << 40
+
+// poisonRequest marks r freed and overwrites its payload fields with
+// sentinel values.
+func poisonRequest(r *Request) {
+	r.freed = true
+	r.Bytes = poisonBytes
+	r.Tag = Tag{WG: -1, WF: -1, Region: -1}
+	r.Kind = -1
+	r.Stream = -1
+}
+
+// unpoisonRequest clears the freed mark when a request leaves the pool.
+func unpoisonRequest(r *Request) {
+	r.freed = false
+}
+
+// poisoned reports whether r is currently freed-and-poisoned. Test hook.
+func poisoned(r *Request) bool { return r.freed }

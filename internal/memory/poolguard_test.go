@@ -1,0 +1,78 @@
+//go:build race || t3debug
+
+package memory
+
+// Guarded-build tests for the Request retention contract: pooled requests
+// are poisoned the moment they are recycled, so an observer that retains one
+// past its OnIssue call is detected on the next use rather than silently
+// reading another transfer's fields. These run in CI both under -race (the
+// regular race job) and under -tags t3debug.
+
+import (
+	"testing"
+
+	"t3sim/internal/sim"
+	"t3sim/internal/units"
+)
+
+// TestRetainedRequestIsPoisoned retains the pooled requests an observer saw
+// and checks each is poisoned after its service completed — the retention
+// violation is observable, not silent.
+func TestRetainedRequestIsPoisoned(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := DefaultConfig()
+	cfg.Channels = 2
+	cfg.TotalBandwidth = 2 * units.GBps
+	cfg.RequestGranularity = 1 * units.KiB
+	cfg.QueueDepth = 8
+	c, err := NewController(eng, cfg, ComputeFirst{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var retained []*Request
+	c.SetObserver(ObserverFunc(func(_ units.Time, r *Request) {
+		retained = append(retained, r) // contract violation on purpose
+	}))
+	c.Transfer(Write, StreamCompute, 8*units.KiB, Tag{WG: 1}, nil)
+	eng.Run()
+
+	if len(retained) == 0 {
+		t.Fatal("observer saw no requests")
+	}
+	for i, r := range retained {
+		if !poisoned(r) {
+			t.Errorf("request %d retained past completion is not poisoned", i)
+		}
+	}
+}
+
+// TestAccessOfFreedRequestPanics pins the enforcement: resubmitting a
+// retained pooled request panics instead of corrupting another transfer.
+func TestAccessOfFreedRequestPanics(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := DefaultConfig()
+	cfg.Channels = 1
+	cfg.TotalBandwidth = 1 * units.GBps
+	cfg.RequestGranularity = 1 * units.KiB
+	cfg.QueueDepth = 8
+	c, err := NewController(eng, cfg, ComputeFirst{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var retained *Request
+	c.SetObserver(ObserverFunc(func(_ units.Time, r *Request) {
+		retained = r
+	}))
+	c.Transfer(Write, StreamCompute, 1*units.KiB, Tag{}, nil)
+	eng.Run()
+	if retained == nil {
+		t.Fatal("observer saw no requests")
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Access of a freed pooled request did not panic")
+		}
+	}()
+	c.Access(retained)
+}

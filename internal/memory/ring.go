@@ -1,0 +1,51 @@
+package memory
+
+// reqRing is a FIFO of requests backed by a power-of-two circular buffer.
+// It replaces the earlier slice queues whose dequeue was a copy(q, q[1:])
+// shift — O(queue length) per issued request on the hottest loop in the
+// simulator. Push and pop here are O(1), and once the buffer has grown to
+// the episode's high-water mark the queue allocates nothing.
+type reqRing struct {
+	buf  []*Request // len(buf) is zero or a power of two
+	head int        // index of the oldest element
+	n    int        // number of queued elements
+}
+
+// len returns the number of queued requests.
+func (q *reqRing) len() int { return q.n }
+
+// push appends r at the tail, growing the buffer if full.
+func (q *reqRing) push(r *Request) {
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.n)&(len(q.buf)-1)] = r
+	q.n++
+}
+
+// pop removes and returns the oldest request. It panics on an empty ring,
+// mirroring a slice-queue's out-of-range panic.
+func (q *reqRing) pop() *Request {
+	if q.n == 0 {
+		panic("memory: pop from empty ring")
+	}
+	r := q.buf[q.head]
+	q.buf[q.head] = nil // drop the reference for the GC and the pool guard
+	q.head = (q.head + 1) & (len(q.buf) - 1)
+	q.n--
+	return r
+}
+
+// grow doubles the buffer, unwrapping the live window to the front.
+func (q *reqRing) grow() {
+	cap2 := len(q.buf) * 2
+	if cap2 == 0 {
+		cap2 = 8
+	}
+	nb := make([]*Request, cap2)
+	for i := 0; i < q.n; i++ {
+		nb[i] = q.buf[(q.head+i)&(len(q.buf)-1)]
+	}
+	q.buf = nb
+	q.head = 0
+}

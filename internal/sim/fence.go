@@ -51,6 +51,23 @@ func (f *Fence) Done() {
 	}
 }
 
+// Reset rearms a fired fence to expect n more completions, reusing the
+// callback installed at construction. It exists so object pools can recycle
+// a fence (and the single closure allocated for its callback) across
+// transfers instead of allocating a fresh pair per use. Resetting a fence
+// that has not fired panics: outstanding completions would be silently
+// merged into the new round.
+func (f *Fence) Reset(n int) {
+	if n <= 0 {
+		panic("sim: fence Reset with non-positive count")
+	}
+	if !f.fired {
+		panic("sim: Reset on unfired fence")
+	}
+	f.fired = false
+	f.remaining = n
+}
+
 // Remaining returns the outstanding completion count.
 func (f *Fence) Remaining() int { return f.remaining }
 

@@ -184,7 +184,26 @@ type fusedRun struct {
 	wgCursor int // production cursor for the GEMM sink
 
 	// blockFill counts fired tiles per DMA block when DMATilesPerBlock > 1.
-	blockFill map[[2]int]int
+	// Blocks are dense: blockOff[p] is phase p's first block index, so block
+	// b of phase p lives at blockFill[blockOff[p]+b] — a flat array probe on
+	// the trigger path instead of the map the counts used to live in.
+	blockFill []int
+	blockOff  []int
+
+	// Direct-RS slice geometry, fixed per run (see sendDirect).
+	sliceBytes units.Bytes
+	localSlice units.Bytes
+	dirLocal   *obsCB // completion for the locally-kept slice
+	dirSlice   *obsCB // completion for an arriving peer slice
+
+	// Freelists for the pooled per-event callbacks of the trigger/forward
+	// path; steady state allocates nothing (see fused_ops.go).
+	dmaOps    []*dmaOp
+	remoteOps []*remoteOp
+	directOps []*directOp
+	stageCBs  []*stageCB
+
+	updatesBuf []int // writeStage scratch, reused across stages
 
 	ownedFence *sim.Fence
 	result     FusedResult
@@ -403,6 +422,21 @@ func (r *fusedRun) setupTiles() error {
 	for p := 0; p <= n; p++ {
 		r.phaseStart[p] = p * r.totalTiles / n
 	}
+	if k := r.o.DMATilesPerBlock; k > 1 {
+		// Block-granular DMA: lay the per-block fill counters out densely,
+		// one run of ceil(phaseSize/k) blocks per phase.
+		r.blockOff = make([]int, n+1)
+		for p := 0; p < n; p++ {
+			r.blockOff[p+1] = r.blockOff[p] + (r.phaseSize(p)+k-1)/k
+		}
+		r.blockFill = make([]int, r.blockOff[n])
+	}
+	if r.o.Collective == DirectReduceScatter {
+		r.sliceBytes = r.tileBytes / units.Bytes(n)
+		r.localSlice = r.tileBytes - units.Bytes(n-1)*r.sliceBytes // absorbs remainder
+		r.dirLocal = &obsCB{r: r, bytes: r.localSlice}
+		r.dirSlice = &obsCB{r: r, bytes: r.sliceBytes}
+	}
 	return nil
 }
 
@@ -514,7 +548,7 @@ func (r *fusedRun) writeStage(_, wgs int, _ units.Bytes, onDone sim.Handler) {
 	w0 := r.wgCursor
 	r.wgCursor += wgs
 
-	var updates []int // one entry per tile update this stage performs
+	updates := r.updatesBuf[:0] // one entry per tile update this stage performs
 	for w := w0; w < w0+wgs; w++ {
 		base := (w / til.SplitK) * til.WFPerWG
 		for wf := 0; wf < til.WFPerWG; wf++ {
@@ -523,24 +557,30 @@ func (r *fusedRun) writeStage(_, wgs int, _ units.Bytes, onDone sim.Handler) {
 			}
 		}
 	}
+	r.updatesBuf = updates
 	local := 0
 	for _, t := range updates {
 		if !r.treatRemote(t) {
 			local++
 		}
 	}
-	fence := sim.NewFence(local, onDone)
+	if local == 0 {
+		// Matches NewFence(0, onDone)'s fire-at-creation: the stage callback
+		// runs before the remote sends are issued.
+		onDone()
+		for _, t := range updates {
+			r.sendRemote(t)
+		}
+		return
+	}
+	cb := r.getStageCB(local, onDone)
 	for _, t := range updates {
 		if r.treatRemote(t) {
 			r.sendRemote(t)
 			continue
 		}
-		tile := t
-		r.mem.Transfer(memory.Update, memory.StreamCompute, r.tileBytes,
-			memory.Tag{WG: tile / 8, WF: tile % 8}, func() {
-				r.observe(r.tileIDOf(tile))
-				fence.Done()
-			})
+		r.mem.TransferTo(memory.Update, memory.StreamCompute, r.tileBytes,
+			memory.Tag{WG: t / 8, WF: t % 8}, cb)
 	}
 }
 
@@ -566,14 +606,8 @@ func (r *fusedRun) sendRemote(t int) {
 	r.mRemote.Inc()
 	r.emit(EventRemoteWrite, 0, r.tileIDOf(t))
 	r.chkRing.Add(int64(r.tileBytes))
-	r.links[0].Send(r.tileBytes, func() {
-		r.chkRing.Sub(r.eng.Now(), int64(r.tileBytes))
-		// Mirror: the neighbor's phase-0 store of the chunk I produce in
-		// phase 1 arrives now, as an NMC update on the comm stream.
-		for _, target := range r.mirrorTargets(t, 0) {
-			r.incomingUpdate(target)
-		}
-	})
+	op := r.getRemoteOp(t)
+	r.links[0].Send(r.tileBytes, op.delivered)
 }
 
 // sendDirect models one direct-RS tile store: (n-1)/n of the tile scatters
@@ -583,25 +617,15 @@ func (r *fusedRun) sendRemote(t int) {
 // footprint at the controller.
 func (r *fusedRun) sendDirect(t int) {
 	n := r.o.Devices
-	sliceBytes := r.tileBytes / units.Bytes(n)
-	localSlice := r.tileBytes - units.Bytes(n-1)*sliceBytes // absorbs remainder
-	tile := t
-	r.mem.Transfer(memory.Update, memory.StreamCompute, localSlice,
-		memory.Tag{WG: tile / 8, WF: tile % 8}, func() {
-			r.observeBytes(r.tileIDOf(tile), localSlice)
-		})
-	if sliceBytes == 0 {
+	r.mem.TransferTo(memory.Update, memory.StreamCompute, r.localSlice,
+		memory.Tag{WG: t / 8, WF: t % 8}, r.dirLocal)
+	if r.sliceBytes == 0 {
 		return
 	}
 	for p := 1; p < n; p++ {
-		r.chkRing.Add(int64(sliceBytes))
-		r.links[p-1].Send(sliceBytes, func() {
-			r.chkRing.Sub(r.eng.Now(), int64(sliceBytes))
-			r.mem.Transfer(memory.Update, memory.StreamComm, sliceBytes,
-				memory.Tag{WG: tile / 8, WF: tile % 8}, func() {
-					r.observeBytes(r.tileIDOf(tile), sliceBytes)
-				})
-		})
+		r.chkRing.Add(int64(r.sliceBytes))
+		op := r.getDirectOp(t)
+		r.links[p-1].Send(r.sliceBytes, op.delivered)
 	}
 }
 
@@ -611,17 +635,21 @@ func (r *fusedRun) sendDirect(t int) {
 // a source fragment with no target yields no entries, and when the source
 // phase is smaller than the target the last source tile also carries the
 // target's final fragment.
-func (r *fusedRun) mirrorTargets(t, p int) []int {
+// The result is returned by value ([2]int plus a count) so the per-delivery
+// call allocates nothing.
+func (r *fusedRun) mirrorTargets(t, p int) (targets [2]int, n int) {
 	i := t - r.phaseStart[p]
 	nextSize := r.phaseSize(p + 1)
 	if i >= nextSize {
-		return nil
+		return targets, 0
 	}
-	targets := []int{r.phaseStart[p+1] + i}
+	targets[0] = r.phaseStart[p+1] + i
+	n = 1
 	if i == r.phaseSize(p)-1 && nextSize > r.phaseSize(p) {
-		targets = append(targets, r.phaseStart[p+1]+nextSize-1)
+		targets[1] = r.phaseStart[p+1] + nextSize - 1
+		n = 2
 	}
-	return targets
+	return targets, n
 }
 
 // incomingUpdate stages an arriving (mirrored) update in local memory on the
@@ -631,12 +659,8 @@ func (r *fusedRun) incomingUpdate(target int) {
 		r.testDropIncoming--
 		return
 	}
-	tile := target
-	kind := memory.Update
-	r.mem.Transfer(kind, memory.StreamComm, r.tileBytes,
-		memory.Tag{WG: tile / 8, WF: tile % 8}, func() {
-			r.observe(r.tileIDOf(tile))
-		})
+	r.mem.TransferTo(memory.Update, memory.StreamComm, r.tileBytes,
+		memory.Tag{WG: target / 8, WF: target % 8}, r)
 }
 
 func (r *fusedRun) observe(id TileID) { r.observeBytes(id, r.tileBytes) }
@@ -673,50 +697,34 @@ func (r *fusedRun) onTileReady(id TileID) {
 	r.emit(EventDMATriggered, 0, id)
 	k := r.o.DMATilesPerBlock
 	if k <= 1 {
-		r.dmaSend(p, []int{t}, cmd.Bytes)
+		r.dmaSend(p, t, 1, cmd.Bytes)
 		return
 	}
 	// Block-granular DMA (§4.2.2): the completing tile marks its block
-	// entry; the block transfers once every member tile has fired.
-	if r.blockFill == nil {
-		r.blockFill = make(map[[2]int]int)
-	}
+	// entry; the block transfers once every member tile has fired. Block
+	// member tiles are contiguous, so the block is just (first, count).
 	i := t - r.phaseStart[p]
-	key := [2]int{p, i / k}
-	r.blockFill[key]++
-	first := r.phaseStart[p] + key[1]*k
+	b := i / k
+	idx := r.blockOff[p] + b
+	r.blockFill[idx]++
+	first := r.phaseStart[p] + b*k
 	last := first + k
 	if end := r.phaseStart[p+1]; last > end {
 		last = end
 	}
-	if r.blockFill[key] < last-first {
+	if r.blockFill[idx] < last-first {
 		return
 	}
-	delete(r.blockFill, key)
-	tiles := make([]int, 0, last-first)
-	for bt := first; bt < last; bt++ {
-		tiles = append(tiles, bt)
-	}
-	r.dmaSend(p, tiles, units.Bytes(len(tiles))*r.tileBytes)
+	r.blockFill[idx] = 0
+	r.dmaSend(p, first, last-first, units.Bytes(last-first)*r.tileBytes)
 }
 
-// dmaSend performs one triggered DMA: read the reduced tiles locally, push
-// them over the ring; the mirrored delivery is the neighbor's DMA arriving
-// for my next phase, updating memory and crediting each target tile.
-func (r *fusedRun) dmaSend(p int, tiles []int, total units.Bytes) {
-	head := tiles[0]
-	tag := memory.Tag{WG: head / 8, WF: head % 8}
-	r.mem.Transfer(memory.Read, memory.StreamComm, total, tag, func() {
-		r.chkRing.Add(int64(total))
-		r.links[0].Send(total, func() {
-			r.chkRing.Sub(r.eng.Now(), int64(total))
-			r.mem.Transfer(memory.Update, memory.StreamComm, total, tag, func() {
-				for _, t := range tiles {
-					for _, target := range r.mirrorTargets(t, p) {
-						r.observe(r.tileIDOf(target))
-					}
-				}
-			})
-		})
-	})
+// dmaSend performs one triggered DMA over the contiguous block of count
+// tiles starting at first: read the reduced tiles locally, push them over
+// the ring; the mirrored delivery is the neighbor's DMA arriving for my next
+// phase, updating memory and crediting each target tile.
+func (r *fusedRun) dmaSend(p, first, count int, total units.Bytes) {
+	op := r.getDMAOp(p, first, count, total)
+	r.mem.Transfer(memory.Read, memory.StreamComm, total,
+		memory.Tag{WG: first / 8, WF: first % 8}, op.readDone)
 }

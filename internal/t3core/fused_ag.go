@@ -119,6 +119,56 @@ type agRun struct {
 	err    error
 
 	ledger *check.Ledger // wire-byte conservation witness (nil-safe)
+
+	tilesBuf []int   // writeStage scratch, reused across stages
+	agOps    []*agOp // freelist for link-delivery callbacks
+}
+
+// agOp carries one tile across a link delivery: production sends arrive as
+// hop 1, forwarded DMAs as hop+1. Pooled; see fused_ops.go for the pattern.
+type agOp struct {
+	r         *agRun
+	t, hop    int
+	bytes     units.Bytes
+	readDone  sim.Handler // prebuilt: forward-read complete → inject + send
+	delivered sim.Handler // prebuilt: delivery → arrive(t, hop)
+}
+
+func (op *agOp) onRead() {
+	r := op.r
+	r.ledger.Add(int64(op.bytes))
+	r.link.Send(op.bytes, op.delivered)
+}
+
+func (op *agOp) onDelivered() {
+	r := op.r
+	r.ledger.Sub(r.eng.Now(), int64(op.bytes))
+	r.arrive(op.t, op.hop)
+	r.agOps = append(r.agOps, op)
+}
+
+func (r *agRun) getAgOp(t, hop int, bytes units.Bytes) *agOp {
+	if ln := len(r.agOps); ln > 0 {
+		op := r.agOps[ln-1]
+		r.agOps[ln-1] = nil
+		r.agOps = r.agOps[:ln-1]
+		op.t, op.hop, op.bytes = t, hop, bytes
+		return op
+	}
+	op := &agOp{r: r, t: t, hop: hop, bytes: bytes}
+	op.readDone = op.onRead
+	op.delivered = op.onDelivered
+	return op
+}
+
+// Complete implements memory.Completion: one hop's arriving tile has been
+// staged in local memory; the tag carries its virtual (hop-encoded) id.
+func (r *agRun) Complete(tag memory.Tag) {
+	id := TileID{WG: tag.WG, WF: tag.WF}
+	if err := r.trk.Observe(id, r.tileBytes); err != nil && r.err == nil {
+		r.err = err
+	}
+	r.done.Done()
 }
 
 func (r *agRun) run() (FusedResult, error) {
@@ -267,7 +317,7 @@ func (r *agRun) writeStage(_, wgs int, _ units.Bytes, onDone sim.Handler) {
 	til := r.o.Grid.Tiling
 	w0 := r.wgCursor
 	r.wgCursor += wgs
-	var tiles []int
+	tiles := r.tilesBuf[:0]
 	for w := w0; w < w0+wgs; w++ {
 		for wf := 0; wf < til.WFPerWG; wf++ {
 			if t := w*til.WFPerWG + wf; t < r.shardTiles {
@@ -275,30 +325,24 @@ func (r *agRun) writeStage(_, wgs int, _ units.Bytes, onDone sim.Handler) {
 			}
 		}
 	}
+	r.tilesBuf = tiles
 	fence := sim.NewFence(len(tiles), onDone)
+	cb := &fenceCB{fence: fence} // one per stage, amortized over its tiles
 	for _, t := range tiles {
-		tile := t
-		r.mem.Transfer(memory.Write, memory.StreamCompute, r.tileBytes,
-			memory.Tag{WG: tile / 8, WF: tile % 8}, fence.Done)
+		r.mem.TransferTo(memory.Write, memory.StreamCompute, r.tileBytes,
+			memory.Tag{WG: t / 8, WF: t % 8}, cb)
 		r.ledger.Add(int64(r.tileBytes))
-		r.link.Send(r.tileBytes, func() {
-			r.ledger.Sub(r.eng.Now(), int64(r.tileBytes))
-			r.arrive(tile, 1)
-		})
+		op := r.getAgOp(t, 1, r.tileBytes)
+		r.link.Send(r.tileBytes, op.delivered)
 	}
 }
 
-// arrive stages one hop's arriving tile and lets the tracker trigger the
-// forward.
+// arrive stages one hop's arriving tile; the Complete receiver lets the
+// tracker trigger the forward.
 func (r *agRun) arrive(t, hop int) {
 	id := r.tileID(t, hop)
-	r.mem.Transfer(memory.Write, memory.StreamComm, r.tileBytes,
-		memory.Tag{WG: id.WG, WF: id.WF}, func() {
-			if err := r.trk.Observe(id, r.tileBytes); err != nil && r.err == nil {
-				r.err = err
-			}
-			r.done.Done()
-		})
+	r.mem.TransferTo(memory.Write, memory.StreamComm, r.tileBytes,
+		memory.Tag{WG: id.WG, WF: id.WF}, r)
 }
 
 // onReady forwards a staged tile to the next device (hops 1..n-2); the
@@ -311,14 +355,9 @@ func (r *agRun) onReady(id TileID) {
 	g := id.WG*8 + id.WF
 	hop := g / r.shardTiles
 	t := g % r.shardTiles
+	op := r.getAgOp(t, hop+1, cmd.Bytes)
 	r.mem.Transfer(memory.Read, memory.StreamComm, cmd.Bytes,
-		memory.Tag{WG: id.WG, WF: id.WF}, func() {
-			r.ledger.Add(int64(cmd.Bytes))
-			r.link.Send(cmd.Bytes, func() {
-				r.ledger.Sub(r.eng.Now(), int64(cmd.Bytes))
-				r.arrive(t, hop+1)
-			})
-		})
+		memory.Tag{WG: id.WG, WF: id.WF}, op.readDone)
 }
 
 // a2aRun is the fused all-to-all mirror run: chunk j of the output goes to
@@ -338,6 +377,54 @@ type a2aRun struct {
 	result FusedResult
 
 	ledger *check.Ledger // wire-byte conservation witness (nil-safe)
+
+	tilesBuf []int    // writeStage scratch, reused across stages
+	a2aOps   []*a2aOp // freelist for link-delivery callbacks
+}
+
+// a2aOp carries one remote-written tile across its link delivery.
+type a2aOp struct {
+	r         *a2aRun
+	t         int
+	delivered sim.Handler
+}
+
+func (op *a2aOp) onDelivered() {
+	r := op.r
+	r.ledger.Sub(r.eng.Now(), int64(r.tileBytes))
+	r.mem.TransferTo(memory.Write, memory.StreamComm, r.tileBytes,
+		memory.Tag{WG: op.t / 8, WF: op.t % 8}, r)
+	r.a2aOps = append(r.a2aOps, op)
+}
+
+func (r *a2aRun) getA2AOp(t int) *a2aOp {
+	if ln := len(r.a2aOps); ln > 0 {
+		op := r.a2aOps[ln-1]
+		r.a2aOps[ln-1] = nil
+		r.a2aOps = r.a2aOps[:ln-1]
+		op.t = t
+		return op
+	}
+	op := &a2aOp{r: r, t: t}
+	op.delivered = op.onDelivered
+	return op
+}
+
+// Complete implements memory.Completion: a mirrored peer tile for my chunk
+// has been written locally.
+func (r *a2aRun) Complete(memory.Tag) { r.done.Done() }
+
+// a2aStageCB completes one stage's owned-chunk local stores: each store
+// credits the stage fence and the run's completion fence.
+type a2aStageCB struct {
+	r     *a2aRun
+	fence *sim.Fence
+}
+
+// Complete implements memory.Completion.
+func (s *a2aStageCB) Complete(memory.Tag) {
+	s.fence.Done()
+	s.r.done.Done()
 }
 
 func (r *a2aRun) run() (FusedResult, error) {
@@ -445,7 +532,7 @@ func (r *a2aRun) writeStage(_, wgs int, _ units.Bytes, onDone sim.Handler) {
 	n := r.o.Devices
 	w0 := r.wgCursor
 	r.wgCursor += wgs
-	var tiles []int
+	tiles := r.tilesBuf[:0]
 	for w := w0; w < w0+wgs; w++ {
 		for wf := 0; wf < til.WFPerWG; wf++ {
 			if t := w*til.WFPerWG + wf; t < r.totalTiles {
@@ -453,6 +540,7 @@ func (r *a2aRun) writeStage(_, wgs int, _ units.Bytes, onDone sim.Handler) {
 			}
 		}
 	}
+	r.tilesBuf = tiles
 	local := 0
 	for _, t := range tiles {
 		if t >= r.phaseStart[n-1] {
@@ -460,25 +548,18 @@ func (r *a2aRun) writeStage(_, wgs int, _ units.Bytes, onDone sim.Handler) {
 		}
 	}
 	fence := sim.NewFence(local, onDone)
+	cb := &a2aStageCB{r: r, fence: fence} // one per stage, amortized
 	for _, t := range tiles {
 		if t >= r.phaseStart[n-1] {
 			// Owned chunk: plain local store.
-			tile := t
-			r.mem.Transfer(memory.Write, memory.StreamCompute, r.tileBytes,
-				memory.Tag{WG: tile / 8, WF: tile % 8}, func() {
-					fence.Done()
-					r.done.Done()
-				})
+			r.mem.TransferTo(memory.Write, memory.StreamCompute, r.tileBytes,
+				memory.Tag{WG: t / 8, WF: t % 8}, cb)
 			continue
 		}
 		// Remote-mapped: not written locally at all (§7.1). The mirror is a
 		// peer's tile for my inbound region arriving as a comm-stream write.
-		tile := t
 		r.ledger.Add(int64(r.tileBytes))
-		r.link.Send(r.tileBytes, func() {
-			r.ledger.Sub(r.eng.Now(), int64(r.tileBytes))
-			r.mem.Transfer(memory.Write, memory.StreamComm, r.tileBytes,
-				memory.Tag{WG: tile / 8, WF: tile % 8}, func() { r.done.Done() })
-		})
+		op := r.getA2AOp(t)
+		r.link.Send(r.tileBytes, op.delivered)
 	}
 }

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# bench.sh — run the benchmark suite and the full experiment catalogue, and
+# emit a machine-readable snapshot (BENCH_4.json by default).
+#
+# The root package's Benchmark* functions replay whole catalogue experiments,
+# so they run at ROOT_BENCHTIME (default 1x: one full iteration each). The
+# internal packages' benchmarks are microbenchmarks of the transaction hot
+# path (channel service, tracker observe/fire, DMA table, trigger chain) and
+# run at MICRO_BENCHTIME (default 1000x) so ns/op is meaningful; their
+# allocs/op figures are exact at any benchtime.
+#
+# Usage:
+#   scripts/bench.sh [output.json]
+#   ROOT_BENCHTIME=1x MICRO_BENCHTIME=10000x scripts/bench.sh out.json
+#
+# No dependencies beyond the go toolchain, bash, and awk.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=${1:-BENCH_4.json}
+root_benchtime=${ROOT_BENCHTIME:-1x}
+micro_benchtime=${MICRO_BENCHTIME:-1000x}
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+raw="$workdir/bench.txt"
+
+echo "== benchmarks: root suite (-benchtime $root_benchtime) =="
+go test -run '^$' -bench . -benchtime "$root_benchtime" -benchmem . | tee "$raw"
+echo "== benchmarks: internal hot-path suites (-benchtime $micro_benchtime) =="
+go test -run '^$' -bench . -benchtime "$micro_benchtime" -benchmem ./internal/... | tee -a "$raw"
+
+echo "== experiment catalogue: -exp all -j 1 wall time =="
+go build -o "$workdir/t3sim" ./cmd/t3sim
+start=$(date +%s.%N)
+"$workdir/t3sim" -exp all -j 1 >"$workdir/all.txt"
+end=$(date +%s.%N)
+exp_all_seconds=$(awk -v a="$start" -v b="$end" 'BEGIN { printf "%.3f", b - a }')
+echo "-exp all -j 1: ${exp_all_seconds}s ($(wc -l <"$workdir/all.txt") output lines)"
+
+go_version=$(go env GOVERSION)
+
+awk -v go_version="$go_version" \
+    -v root_benchtime="$root_benchtime" \
+    -v micro_benchtime="$micro_benchtime" \
+    -v exp_all_seconds="$exp_all_seconds" '
+/^pkg:/ { pkg = $2 }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)  # strip the GOMAXPROCS suffix
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 2; i <= NF; i++) {
+        if ($(i) == "ns/op") ns = $(i - 1)
+        if ($(i) == "B/op") bytes = $(i - 1)
+        if ($(i) == "allocs/op") allocs = $(i - 1)
+    }
+    if (ns == "") next
+    n++
+    rows[n] = sprintf("    {\"pkg\": \"%s\", \"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
+                      pkg, name, ns, bytes == "" ? "null" : bytes, allocs == "" ? "null" : allocs)
+}
+END {
+    printf "{\n"
+    printf "  \"schema\": \"t3sim-bench/1\",\n"
+    printf "  \"go\": \"%s\",\n", go_version
+    printf "  \"root_benchtime\": \"%s\",\n", root_benchtime
+    printf "  \"micro_benchtime\": \"%s\",\n", micro_benchtime
+    printf "  \"exp_all_j1_seconds\": %s,\n", exp_all_seconds
+    printf "  \"benchmarks\": [\n"
+    for (i = 1; i <= n; i++) printf "%s%s\n", rows[i], i < n ? "," : ""
+    printf "  ]\n"
+    printf "}\n"
+}' "$raw" >"$out"
+
+echo "wrote $out ($(grep -c '"name"' "$out") benchmark rows)"
