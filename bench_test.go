@@ -316,6 +316,48 @@ func BenchmarkFusedGEMMRSRun(b *testing.B) {
 	}
 }
 
+// multiDeviceOpts is the 8-device explicit-simulation shape the scaling
+// benchmarks share: big enough that the per-window coordination cost is
+// amortized over real event work.
+func multiDeviceOpts(b *testing.B, workers int) t3sim.FusedOptions {
+	b.Helper()
+	grid, err := t3sim.NewGrid(
+		t3sim.GEMMShape{M: 4096, N: 4096, K: 1024, ElemBytes: 2}, t3sim.DefaultTiling())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return t3sim.FusedOptions{
+		GPU:         t3sim.DefaultGPUConfig(),
+		Memory:      t3sim.DefaultMemoryConfig(),
+		Link:        t3sim.DefaultLinkConfig(),
+		Tracker:     t3sim.TrackerConfig{Sets: 256, Ways: 64, MaxWFsPerWG: 8},
+		Devices:     8,
+		Grid:        grid,
+		Collective:  t3sim.RingReduceScatterCollective,
+		Arbitration: t3sim.ArbRoundRobin,
+		ParWorkers:  workers,
+	}
+}
+
+// runMultiDeviceBench is the body shared by the scaling benchmarks: one full
+// explicit 8-device simulation per iteration. Output is byte-identical at
+// every worker count (pinned by TestMultiDeviceParallelMatchesSequential);
+// only wall-clock changes, which is exactly what ns/op reports.
+func runMultiDeviceBench(b *testing.B, workers int) {
+	opts := multiDeviceOpts(b, workers)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := t3sim.RunFusedGEMMRSMultiDevice(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMultiDeviceSequential(b *testing.B) { runMultiDeviceBench(b, 0) }
+func BenchmarkMultiDeviceWorkers2(b *testing.B)   { runMultiDeviceBench(b, 2) }
+func BenchmarkMultiDeviceWorkers4(b *testing.B)   { runMultiDeviceBench(b, 4) }
+func BenchmarkMultiDeviceWorkers8(b *testing.B)   { runMultiDeviceBench(b, 8) }
+
 func BenchmarkFunctionalFusedRS(b *testing.B) {
 	data := make([][]float32, 8)
 	for d := range data {

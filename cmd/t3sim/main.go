@@ -95,6 +95,9 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON (times are picoseconds)")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0),
 		"max concurrent simulations; 1 = fully serial; output is identical at any -j")
+	par := flag.Int("par", 0,
+		"worker goroutines per explicit multi-device simulation (conservative parallel DES); "+
+			"0 = sequential single-engine path; output is byte-identical at any -par")
 	checkRuns := flag.Bool("check", false,
 		"attach the simulation invariant checker to every run; violations fail the process")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -198,6 +201,7 @@ func main() {
 		setup.Metrics = reg
 	}
 	setup.Check = checker
+	setup.MultiDeviceWorkers = *par
 	runner := t3sim.NewExperimentRunner(setup, *jobs)
 	emit := func(name string, o outcome) bool {
 		if o.err != nil {

@@ -55,10 +55,13 @@ func run() (code int) {
 		links = flag.String("links", "150", "comma-separated bidirectional link GB/s")
 		cus   = flag.String("cus", "80", "comma-separated GPU CU counts")
 		arb   = flag.String("arb", "mca", "arbitration: rr | mca | cf")
-		coll  = flag.String("collective", "rs", "collective: rs | direct | ag | a2a")
+		coll  = flag.String("collective", "rs", "collective: rs | direct | ag | a2a | multi (explicit N-device rs)")
 		hdr   = flag.Bool("header", true, "print the CSV header")
 		jobs  = flag.Int("j", runtime.GOMAXPROCS(0),
 			"max concurrent simulations; output order is identical at any -j")
+		par = flag.Int("par", 0,
+			"worker goroutines per explicit multi-device simulation (-collective multi); "+
+				"0 = sequential single-engine path; output is byte-identical at any -par")
 		checkRuns = flag.Bool("check", false,
 			"attach the simulation invariant checker to every configuration; violations fail the process")
 		timeline = flag.String("timeline", "",
@@ -185,7 +188,7 @@ func run() (code int) {
 					sink = reg.Scope(fmt.Sprintf("cfg%03d-dev%d-link%g-cu%d",
 						i, c.devices, c.link, c.cus))
 				}
-				row, err := runOne(grid, c.devices, c.link, c.cus, arbitration, collective, *arb, *coll, sink, checker)
+				row, err := runOne(grid, c.devices, c.link, c.cus, arbitration, collective, *arb, *coll, *par, sink, checker)
 				slots[i] <- rowResult{row: row, err: err}
 			}
 		}()
@@ -258,7 +261,7 @@ func writeExport(path string, write func(io.Writer) error) error {
 // audits the run's conservation/ordering/bound invariants.
 func runOne(grid t3sim.GEMMGrid, devices int, linkGBps float64, cus int,
 	arb t3sim.Arbitration, coll t3sim.FusedCollective, arbName, collName string,
-	sink t3sim.MetricsSink, checker *t3sim.Checker) (string, error) {
+	par int, sink t3sim.MetricsSink, checker *t3sim.Checker) (string, error) {
 	gpu := t3sim.DefaultGPUConfig()
 	gpu.CUs = cus
 	link := t3sim.DefaultLinkConfig()
@@ -275,15 +278,32 @@ func runOne(grid t3sim.GEMMGrid, devices int, linkGBps float64, cus int,
 		Arbitration: arb,
 		Metrics:     sink,
 		Check:       checker,
+		ParWorkers:  par,
 	}
 	var (
 		res t3sim.FusedResult
 		err error
 	)
-	switch coll {
-	case t3sim.RingAllGatherCollective:
+	switch {
+	case collName == "multi":
+		// Explicit N-device simulation (no mirroring); -par picks the
+		// conservative-parallel execution strategy, output is identical
+		// either way.
+		var multi t3sim.MultiDeviceResult
+		multi, err = t3sim.RunFusedGEMMRSMultiDevice(opts)
+		if err == nil {
+			res = t3sim.FusedResult{
+				GEMMDone:       maxTime(multi.GEMMDone),
+				CollectiveDone: multi.Done,
+				Done:           multi.Done,
+				DRAM:           multi.DRAM,
+				LinkBytes:      multi.LinkBytes,
+				TrackerMaxLive: multi.TrackerMaxLive,
+			}
+		}
+	case coll == t3sim.RingAllGatherCollective:
 		res, err = t3sim.RunFusedGEMMAG(opts)
-	case t3sim.AllToAllCollective:
+	case coll == t3sim.AllToAllCollective:
 		res, err = t3sim.RunFusedGEMMAllToAll(opts)
 	default:
 		res, err = t3sim.RunFusedGEMMRS(opts)
@@ -340,9 +360,24 @@ func parseCollective(s string) (t3sim.FusedCollective, error) {
 		return t3sim.RingAllGatherCollective, nil
 	case "a2a":
 		return t3sim.AllToAllCollective, nil
+	case "multi":
+		// Explicit multi-device ring reduce-scatter; runOne dispatches on
+		// the name, the option struct still carries the rs collective.
+		return t3sim.RingReduceScatterCollective, nil
 	default:
-		return 0, fmt.Errorf("t3sweep: unknown collective %q (rs|direct|ag|a2a)", s)
+		return 0, fmt.Errorf("t3sweep: unknown collective %q (rs|direct|ag|a2a|multi)", s)
 	}
+}
+
+// maxTime returns the latest of a slice of completion times.
+func maxTime(ts []t3sim.Time) t3sim.Time {
+	var m t3sim.Time
+	for _, t := range ts {
+		if t > m {
+			m = t
+		}
+	}
+	return m
 }
 
 func parseInts(s string) ([]int, error) {

@@ -31,6 +31,9 @@ var (
 		"rewrite testdata/golden/ from the current simulator output")
 	goldenJobs = flag.Int("golden-j", runtime.GOMAXPROCS(0),
 		"max concurrent experiments in TestGolden; results are identical at any value")
+	goldenPar = flag.Int("golden-par", 0,
+		"worker goroutines per explicit multi-device simulation in TestGolden "+
+			"(conservative parallel DES); snapshots must be byte-identical at any value")
 )
 
 const goldenDir = "testdata/golden"
@@ -51,6 +54,7 @@ func runCatalogue(t *testing.T, jobs int) [][]byte {
 	setup := t3sim.DefaultExperimentSetup()
 	checker := t3sim.NewChecker()
 	setup.Check = checker
+	setup.MultiDeviceWorkers = *goldenPar
 	runner := t3sim.NewExperimentRunner(setup, jobs)
 	catalogue := t3sim.ExperimentCatalogue()
 

@@ -139,7 +139,10 @@ func TestNilCheckerAllocatesNothing(t *testing.T) {
 	o := c.Once("x")
 	w := c.NonOverlap("x")
 	b := c.Bound("x", 1)
-	if m != nil || l != nil || o != nil || w != nil || b != nil {
+	la := c.Lookahead("x")
+	x := c.CrossLedger("x")
+	cell := x.Cell()
+	if m != nil || l != nil || o != nil || w != nil || b != nil || la != nil || x != nil || cell != nil {
 		t.Fatal("nil checker returned non-nil handles")
 	}
 	allocs := testing.AllocsPerRun(1000, func() {
@@ -150,6 +153,10 @@ func TestNilCheckerAllocatesNothing(t *testing.T) {
 		o.Mark(1, 1)
 		w.Window(1, 2)
 		b.Observe(1, 2)
+		la.Observe(10, 5)
+		cell.Add(1)
+		cell.Sub(1)
+		x.Close(3)
 		c.Violationf(1, "x", "y", "%d", 1)
 		_ = c.Ok()
 		_ = c.Err()
@@ -159,6 +166,48 @@ func TestNilCheckerAllocatesNothing(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("nil checker allocated %v times per run, want 0", allocs)
+	}
+}
+
+func TestLookaheadLaw(t *testing.T) {
+	c := New()
+	la := c.Lookahead("cluster")
+	la.Observe(100, 100) // delivery exactly at the barrier is legal
+	la.Observe(100, 250)
+	if !c.Ok() {
+		t.Fatalf("legal deliveries flagged: %v", c.Violations())
+	}
+	la.Observe(100, 99) // inside the completed window: violation
+	vs := c.Violations()
+	if len(vs) != 1 || vs[0].Rule != "ordering/lookahead" || vs[0].At != 99 {
+		t.Fatalf("violations = %v, want one ordering/lookahead at t=99", vs)
+	}
+}
+
+func TestCrossLedgerBalancedAndFalsifiable(t *testing.T) {
+	c := New()
+	x := c.CrossLedger("ring")
+	a, b := x.Cell(), x.Cell()
+	// Balanced books across cells: a injects what b receives and vice versa.
+	a.Add(100)
+	b.Sub(60)
+	b.Sub(40)
+	b.Add(7)
+	a.Sub(7)
+	x.Close(50)
+	if !c.Ok() {
+		t.Fatalf("balanced cross-ledger flagged: %v", c.Violations())
+	}
+	// Falsifiability: drop a delivery and Close must object.
+	c2 := New()
+	x2 := c2.CrossLedger("ring")
+	s, r := x2.Cell(), x2.Cell()
+	s.Add(10)
+	r.Sub(9) // one unit lost in flight
+	x2.Close(99)
+	vs := c2.Violations()
+	if len(vs) != 1 || vs[0].Rule != "conservation/cross-balance" {
+		t.Fatalf("violations = %v, want one conservation/cross-balance", vs)
 	}
 }
 

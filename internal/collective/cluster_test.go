@@ -1,0 +1,132 @@
+package collective
+
+import (
+	"testing"
+
+	"t3sim/internal/check"
+	"t3sim/internal/interconnect"
+	"t3sim/internal/memory"
+	"t3sim/internal/sim"
+	"t3sim/internal/units"
+)
+
+// clusterHarness builds a cluster, a cluster ring and per-device memory
+// controllers, mirroring harness() but with every device on its own engine.
+func clusterHarness(t *testing.T, devices int) (*sim.Cluster, Options) {
+	t.Helper()
+	cfg := interconnect.DefaultConfig()
+	cl := sim.NewCluster(devices, cfg.LinkLatency)
+	ring, err := interconnect.NewClusterRing(cl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	devs := make([]*Device, devices)
+	for i := range devs {
+		mc, err := memory.NewController(cl.Engine(i), memory.DefaultConfig(), memory.ComputeFirst{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		devs[i] = &Device{ID: i, Mem: mc}
+	}
+	return cl, Options{
+		Ring:              ring,
+		Devices:           devs,
+		TotalBytes:        16 * units.MiB,
+		BlockBytes:        32 * units.KiB,
+		CUs:               80,
+		PerCUMemBandwidth: 16 * units.GBps,
+		Stream:            memory.StreamComm,
+	}
+}
+
+// TestClusterCollectiveMatchesSharedEngine requires the timed ring
+// collectives to produce identical completion times and per-link byte
+// accounting whether all devices share one engine or each owns a private
+// cluster engine — at every worker count.
+func TestClusterCollectiveMatchesSharedEngine(t *testing.T) {
+	for _, devices := range []int{2, 4, 8} {
+		for _, nmc := range []bool{false, true} {
+			for _, reduce := range []bool{true, false} {
+				if nmc && !reduce {
+					continue // NMC only changes reduce-scatter
+				}
+				eng, so := harness(t, devices)
+				so.NMC = nmc
+				var want units.Time
+				if reduce {
+					want = runRS(t, eng, so)
+				} else {
+					want = runAG(t, eng, so)
+				}
+
+				for _, workers := range []int{1, 2, devices} {
+					cl, co := clusterHarness(t, devices)
+					co.NMC = nmc
+					chk := check.New()
+					co.Check = chk
+					var cr *ClusterRun
+					var err error
+					if reduce {
+						cr, err = StartClusterRingReduceScatter(cl, co)
+					} else {
+						cr, err = StartClusterRingAllGather(cl, co)
+					}
+					if err != nil {
+						t.Fatal(err)
+					}
+					cl.Run(workers)
+					cr.Finish()
+					if got := cr.Done(); got != want {
+						t.Errorf("devices=%d nmc=%v reduce=%v workers=%d: done %v, want %v",
+							devices, nmc, reduce, workers, got, want)
+					}
+					for i := 0; i < devices; i++ {
+						gotB := co.Ring.ForwardLink(i).SentBytes()
+						wantB := so.Ring.ForwardLink(i).SentBytes()
+						if gotB != wantB {
+							t.Errorf("devices=%d nmc=%v reduce=%v workers=%d: link %d sent %v, want %v",
+								devices, nmc, reduce, workers, i, gotB, wantB)
+						}
+					}
+					if !chk.Ok() {
+						t.Errorf("devices=%d nmc=%v reduce=%v workers=%d: violations: %v",
+							devices, nmc, reduce, workers, chk.Violations())
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestClusterCollectivePerDeviceTimesDeterministic pins per-device
+// completion times across worker counts (not just the max).
+func TestClusterCollectivePerDeviceTimesDeterministic(t *testing.T) {
+	const devices = 4
+	run := func(workers int) []units.Time {
+		cl, co := clusterHarness(t, devices)
+		cr, err := StartClusterRingReduceScatter(cl, co)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl.Run(workers)
+		out := make([]units.Time, devices)
+		for d := range out {
+			out[d] = cr.DeviceDone(d)
+		}
+		return out
+	}
+	want := run(1)
+	for _, workers := range []int{2, devices} {
+		got := run(workers)
+		for d := range got {
+			if got[d] != want[d] {
+				t.Errorf("workers=%d: device %d done at %v, want %v", workers, d, got[d], want[d])
+			}
+		}
+	}
+	for d, at := range want {
+		if at == 0 {
+			t.Errorf("device %d never completed", d)
+		}
+	}
+}

@@ -108,42 +108,104 @@ func splitBlocks(c, blockBytes units.Bytes) []units.Bytes {
 // step, but a device starts step s+1 only after all of step s's incoming
 // data has been staged in its memory (the kernel boundary).
 type run struct {
-	eng      *sim.Engine
-	o        Options
-	n        int
-	reduce   bool          // reduce-scatter (true) or all-gather (false)
-	chunks   []units.Bytes // chunk size per chunk index
-	cuFree   []units.Time  // per-device CU pacer
-	arrivals map[[2]int]*sim.Fence
-	done     *sim.Fence
+	eng    *sim.Engine   // shared-engine mode; nil in cluster mode
+	engs   []*sim.Engine // cluster mode: device d's private engine; nil otherwise
+	o      Options
+	n      int
+	reduce bool          // reduce-scatter (true) or all-gather (false)
+	chunks []units.Bytes // chunk size per chunk index
+	cuFree []units.Time  // per-device CU pacer (single-writer: device d's engine)
 
-	mtrack     *metrics.Track   // "collective" timeline (nil-safe)
-	mBlocks    *metrics.Counter // pipelined blocks pushed over the wire
-	mLinkBytes *metrics.Counter // bytes handed to ring links
+	arrivals   map[[2]int]*sim.Fence // read-only after setup; Done only on d's engine
+	done       *sim.Fence            // shared-engine mode completion
+	deviceDone func(d int)           // cluster mode: invoked on device d's engine
 
-	ledger *check.Ledger // wire-byte conservation witness (nil-safe)
+	mtrack     *metrics.Track   // shared-engine "collective" timeline (nil-safe)
+	mtracks    []*metrics.Track // cluster mode: per-device timelines (nil-safe)
+	mBlocks    *metrics.Counter // pipelined blocks pushed over the wire (atomic)
+	mLinkBytes *metrics.Counter // bytes handed to ring links (atomic)
+
+	ledger  *check.Ledger      // shared-engine wire-byte conservation witness
+	cells   []*check.CrossCell // cluster mode: per-device conservation accounts
+	xledger *check.CrossLedger // cluster mode: closed by ClusterRun.Finish
 }
 
-func newRun(eng *sim.Engine, o Options, reduce bool, onDone sim.Handler) (*run, error) {
+// engOf returns the engine device d's handlers run on.
+func (r *run) engOf(d int) *sim.Engine {
+	if r.engs != nil {
+		return r.engs[d]
+	}
+	return r.eng
+}
+
+// trackOf returns the timeline track device d's spans and instants go to —
+// the single shared track on one engine, device d's private track on a
+// cluster (timeline recorders are single-writer).
+func (r *run) trackOf(d int) *metrics.Track {
+	if r.mtracks != nil {
+		return r.mtracks[d]
+	}
+	return r.mtrack
+}
+
+// wireAdd / wireSub credit the conservation books for bytes injected by /
+// delivered to device d. On a cluster each device owns a private CrossCell
+// so no two goroutines share a counter.
+func (r *run) wireAdd(d int, n int64) {
+	if r.cells != nil {
+		r.cells[d].Add(n)
+		return
+	}
+	r.ledger.Add(n)
+}
+
+func (r *run) wireSub(d int, n int64) {
+	if r.cells != nil {
+		r.cells[d].Sub(n)
+		return
+	}
+	r.ledger.Sub(r.engOf(d).Now(), n)
+}
+
+func newRun(eng *sim.Engine, engs []*sim.Engine, o Options, reduce bool, onDone sim.Handler) (*run, error) {
 	if err := o.Validate(); err != nil {
 		return nil, err
 	}
-	r := &run{eng: eng, o: o, n: o.Ring.Devices(), reduce: reduce}
+	r := &run{eng: eng, engs: engs, o: o, n: o.Ring.Devices(), reduce: reduce}
 	r.chunks = chunkSizes(o.TotalBytes, r.n)
 	r.cuFree = make([]units.Time, r.n)
-	if o.Check.Enabled() {
-		r.ledger = o.Check.Ledger("collective.ring")
-		inner := onDone
-		onDone = func() {
-			r.ledger.Close(eng.Now())
-			if inner != nil {
-				inner()
+	if engs == nil {
+		if o.Check.Enabled() {
+			r.ledger = o.Check.Ledger("collective.ring")
+			inner := onDone
+			onDone = func() {
+				r.ledger.Close(eng.Now())
+				if inner != nil {
+					inner()
+				}
 			}
 		}
+		r.done = sim.NewFence(r.n, onDone) // one completion per device
+	} else if o.Check.Enabled() {
+		// Cluster mode: each device owns a private conservation account;
+		// the books are summed by ClusterRun.Finish after Cluster.Run's
+		// final barrier has ordered every cell write before the read.
+		x := o.Check.CrossLedger("collective.ring")
+		r.cells = make([]*check.CrossCell, r.n)
+		for d := range r.cells {
+			r.cells[d] = x.Cell()
+		}
+		r.xledger = x
 	}
-	r.done = sim.NewFence(r.n, onDone) // one completion per device
 	if m := o.Metrics; m != nil {
-		r.mtrack = m.Track("collective")
+		if engs != nil {
+			r.mtracks = make([]*metrics.Track, r.n)
+			for d := range r.mtracks {
+				r.mtracks[d] = m.Track(fmt.Sprintf("collective.dev%d", d))
+			}
+		} else {
+			r.mtrack = m.Track("collective")
+		}
 		r.mBlocks = m.Counter("collective.blocks_sent")
 		r.mLinkBytes = m.Counter("collective.link_bytes")
 	}
@@ -157,8 +219,8 @@ func newRun(eng *sim.Engine, o Options, reduce bool, onDone sim.Handler) (*run, 
 			d, s := d, s
 			inBlocks := len(splitBlocks(r.chunks[r.outChunk(d, s+1)], o.BlockBytes))
 			r.arrivals[[2]int{d, s}] = sim.NewFence(inBlocks, func() {
-				if r.mtrack != nil {
-					r.mtrack.Instant(fmt.Sprintf("dev%d.step%d.staged", d, s), eng.Now())
+				if tr := r.trackOf(d); tr != nil {
+					tr.Instant(fmt.Sprintf("dev%d.step%d.staged", d, s), r.engOf(d).Now())
 				}
 				if s < r.n-2 {
 					r.sendStep(d, s+1)
@@ -169,6 +231,17 @@ func newRun(eng *sim.Engine, o Options, reduce bool, onDone sim.Handler) (*run, 
 		}
 	}
 	return r, nil
+}
+
+// horizon returns the furthest device clock (cluster mode).
+func (r *run) horizon() units.Time {
+	var h units.Time
+	for _, e := range r.engs {
+		if e.Now() > h {
+			h = e.Now()
+		}
+	}
+	return h
 }
 
 // outChunk returns the chunk device d sends at step s.
@@ -184,7 +257,7 @@ func (r *run) outChunk(d, s int) int {
 // pace reserves CU time for touching n bytes `touches` times and returns the
 // completion time of the reservation.
 func (r *run) pace(d int, touches int, n units.Bytes) units.Time {
-	now := r.eng.Now()
+	now := r.engOf(d).Now()
 	if r.cuFree[d] < now {
 		r.cuFree[d] = now
 	}
@@ -217,19 +290,22 @@ func (r *run) send(d, s int, block units.Bytes) {
 	if r.reduce && s > 0 && !o.NMC {
 		reads, touches = 2, 3 // + staged copy read and the reduce
 	}
-	start := r.eng.Now()
+	start := r.engOf(d).Now()
+	rcv := o.Ring.Next(d)
 	fence := sim.NewFence(reads, func() {
 		at := r.pace(d, touches, block)
-		r.eng.At(at, func() {
+		r.engOf(d).At(at, func() {
 			link := o.Ring.ForwardLink(d)
-			r.ledger.Add(int64(block))
+			r.wireAdd(d, int64(block))
 			link.Send(block, func() {
+				// On a cluster this callback runs on the receiving device's
+				// engine, so the span lands on the receiver's track.
 				r.mBlocks.Inc()
 				r.mLinkBytes.Add(int64(block))
-				if r.mtrack != nil {
-					r.mtrack.Span(fmt.Sprintf("dev%d.step%d.block", d, s), start, r.eng.Now())
+				if tr := r.trackOf(rcv); tr != nil {
+					tr.Span(fmt.Sprintf("dev%d.step%d.block", d, s), start, r.engOf(rcv).Now())
 				}
-				r.receive(o.Ring.Next(d), s, block)
+				r.receive(rcv, s, block)
 			})
 		})
 	})
@@ -247,7 +323,7 @@ func (r *run) receive(d, s int, block units.Bytes) {
 		kind = memory.Update
 	}
 	o.Devices[d].Mem.Transfer(kind, o.Stream, block, memory.Tag{}, func() {
-		r.ledger.Sub(r.eng.Now(), int64(block))
+		r.wireSub(d, int64(block))
 		r.arrivals[[2]int{d, s}].Done()
 	})
 }
@@ -257,18 +333,18 @@ func (r *run) receive(d, s int, block units.Bytes) {
 // the read-modify-write NMC eliminates); all-gather is already done.
 func (r *run) finish(d int) {
 	if !r.reduce || r.o.NMC {
-		r.done.Done()
+		r.complete(d)
 		return
 	}
 	o := r.o
 	mem := o.Devices[d].Mem
 	blocks := splitBlocks(r.chunks[OwnedChunk(d, r.n)], o.BlockBytes)
-	final := sim.NewFence(len(blocks), r.done.Done)
+	final := sim.NewFence(len(blocks), func() { r.complete(d) })
 	for _, b := range blocks {
 		block := b
 		reads := sim.NewFence(2, func() {
 			at := r.pace(d, 3, block)
-			r.eng.At(at, func() {
+			r.engOf(d).At(at, func() {
 				mem.Transfer(memory.Write, o.Stream, block, memory.Tag{}, final.Done)
 			})
 		})
@@ -277,11 +353,21 @@ func (r *run) finish(d int) {
 	}
 }
 
+// complete records device d's completion: one credit on the shared fence, or
+// the per-device callback on a cluster (still on device d's engine).
+func (r *run) complete(d int) {
+	if r.deviceDone != nil {
+		r.deviceDone(d)
+		return
+	}
+	r.done.Done()
+}
+
 // StartRingReduceScatter schedules a timed ring reduce-scatter on eng and
 // runs onDone when every device has finished its final reduction. The caller
 // drives the engine.
 func StartRingReduceScatter(eng *sim.Engine, o Options, onDone sim.Handler) error {
-	r, err := newRun(eng, o, true, onDone)
+	r, err := newRun(eng, nil, o, true, onDone)
 	if err != nil {
 		return err
 	}
@@ -292,10 +378,72 @@ func StartRingReduceScatter(eng *sim.Engine, o Options, onDone sim.Handler) erro
 // StartRingAllGather schedules a timed ring all-gather on eng: the same
 // rotation as reduce-scatter without reductions.
 func StartRingAllGather(eng *sim.Engine, o Options, onDone sim.Handler) error {
-	r, err := newRun(eng, o, false, onDone)
+	r, err := newRun(eng, nil, o, false, onDone)
 	if err != nil {
 		return err
 	}
 	r.start()
 	return nil
+}
+
+// ClusterRun is a timed collective scheduled across the per-device engines
+// of a sim.Cluster (o.Ring must be an interconnect.NewClusterRing on the
+// same cluster, and o.Devices' memory controllers must live on their
+// device's engine). Drive it with Cluster.Run, then call Finish.
+type ClusterRun struct {
+	r      *run
+	doneAt []units.Time // per-device completion time; valid after Cluster.Run
+}
+
+func startCluster(cl *sim.Cluster, o Options, reduce bool) (*ClusterRun, error) {
+	engs := cl.Engines()
+	if o.Ring != nil && o.Ring.Devices() != len(engs) {
+		return nil, fmt.Errorf("collective: %d-way ring on %d-engine cluster",
+			o.Ring.Devices(), len(engs))
+	}
+	r, err := newRun(nil, engs, o, reduce, nil)
+	if err != nil {
+		return nil, err
+	}
+	cr := &ClusterRun{r: r, doneAt: make([]units.Time, r.n)}
+	// Per-device completion runs on device d's engine: a plain slice store
+	// is safe because d is the only writer of its cell and Cluster.Run's
+	// barrier orders it before the caller reads DeviceDone.
+	r.deviceDone = func(d int) { cr.doneAt[d] = r.engOf(d).Now() }
+	r.start()
+	return cr, nil
+}
+
+// StartClusterRingReduceScatter schedules a timed ring reduce-scatter across
+// the cluster's engines. The result is identical to StartRingReduceScatter
+// on a single shared engine at every worker count.
+func StartClusterRingReduceScatter(cl *sim.Cluster, o Options) (*ClusterRun, error) {
+	return startCluster(cl, o, true)
+}
+
+// StartClusterRingAllGather schedules a timed ring all-gather across the
+// cluster's engines.
+func StartClusterRingAllGather(cl *sim.Cluster, o Options) (*ClusterRun, error) {
+	return startCluster(cl, o, false)
+}
+
+// DeviceDone returns device d's completion time. Valid after Cluster.Run
+// has returned.
+func (cr *ClusterRun) DeviceDone(d int) units.Time { return cr.doneAt[d] }
+
+// Done returns the overall completion time — the latest device completion.
+func (cr *ClusterRun) Done() units.Time {
+	var t units.Time
+	for _, at := range cr.doneAt {
+		if at > t {
+			t = at
+		}
+	}
+	return t
+}
+
+// Finish closes the cross-engine conservation books. Call it once, after
+// Cluster.Run has returned.
+func (cr *ClusterRun) Finish() {
+	cr.r.xledger.Close(cr.r.horizon())
 }

@@ -79,11 +79,15 @@ var hashPolicies = map[reflect.Type]map[string]fieldPolicy{
 		"GEMMCUs":            policyHash,
 		"DMATilesPerBlock":   policyHash,
 		"DoubleBufferedGEMM": policyHash,
-		"Observer":           policyBarrier,
-		"CustomArbiter":      policyBarrier,
-		"Events":             policyBarrier,
-		"Metrics":            policyBarrier,
-		"Check":              policySkip,
+		// ParWorkers only picks the multi-device execution strategy
+		// (shared engine vs conservative cluster); results are
+		// byte-identical at every value, so it must not split the key.
+		"ParWorkers":    policySkip,
+		"Observer":      policyBarrier,
+		"CustomArbiter": policyBarrier,
+		"Events":        policyBarrier,
+		"Metrics":       policyBarrier,
+		"Check":         policySkip,
 	},
 	reflect.TypeOf(memory.Config{}): {
 		"Channels":           policyHash,

@@ -57,6 +57,7 @@ func MirrorValidation(setup Setup) (*MirrorResult, error) {
 		if err != nil {
 			return nil, err
 		}
+		opts.ParWorkers = setup.MultiDeviceWorkers
 		multi, err := t3core.RunFusedGEMMRSMultiDevice(opts)
 		if err != nil {
 			return nil, err

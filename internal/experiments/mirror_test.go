@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -23,5 +24,30 @@ func TestMirrorValidation(t *testing.T) {
 	}
 	if !strings.Contains(res.Render(), "Mirror") {
 		t.Error("render missing title")
+	}
+}
+
+// TestMirrorValidationParallelWorkersInvariant pins that the conservative
+// parallel multi-device path leaves the mirror validation's rendered numbers
+// byte-identical: Setup.MultiDeviceWorkers only changes how the explicit
+// simulations execute, never what they compute.
+func TestMirrorValidationParallelWorkersInvariant(t *testing.T) {
+	want, err := MirrorValidation(DefaultSetup())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		setup := DefaultSetup()
+		setup.MultiDeviceWorkers = workers
+		got, err := MirrorValidation(setup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: mirror validation diverged from sequential", workers)
+		}
+		if got.Render() != want.Render() {
+			t.Errorf("workers=%d: rendered output not byte-identical", workers)
+		}
 	}
 }

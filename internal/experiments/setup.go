@@ -40,6 +40,15 @@ type Setup struct {
 	// invariant violations across the whole sweep; a single checker is safe
 	// to share at any -j. Nil costs nothing.
 	Check *check.Checker
+	// MultiDeviceWorkers selects the execution strategy for explicit
+	// multi-device simulations (the mirror validation's N-device runs):
+	// 0 simulates all devices on one shared engine; any positive value
+	// runs each device on its own conservative-parallel cluster engine
+	// with up to that many goroutines. Output is byte-identical at every
+	// value — the knob trades wall-clock time only — so it is excluded
+	// from the memo key and safe to flip per invocation (-par on the
+	// CLIs).
+	MultiDeviceWorkers int
 	// Memo, if non-nil, is the process-wide content-addressed result cache:
 	// sub-layer evaluations and single-GPU fused runs are keyed by a
 	// canonical hash of every timing-relevant option (see memo.go), so

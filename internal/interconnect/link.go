@@ -56,6 +56,13 @@ type Link struct {
 	eng *sim.Engine
 	cfg Config
 
+	// post, when non-nil, replaces eng.At for scheduling deliveries at the
+	// far end. Cluster links set it to a sim.Mailbox.Post so a delivery
+	// lands on the destination device's engine instead of the sender's —
+	// serialization timing still reads the sender's clock, so a link behaves
+	// identically whether both ends share one engine or not.
+	post func(units.Time, sim.Handler)
+
 	busyUntil units.Time
 	sentBytes units.Bytes
 	busyTime  units.Time // cumulative serializer occupancy
@@ -77,6 +84,32 @@ func NewLink(eng *sim.Engine, cfg Config) (*Link, error) {
 		return nil, err
 	}
 	return &Link{eng: eng, cfg: cfg}, nil
+}
+
+// NewClusterLink returns a link whose ends live on different engines of a
+// cluster: serialization runs on device src's engine, deliveries post to
+// device dst's mailbox and fire on dst's engine at the next window barrier.
+// The link latency must cover the cluster's lookahead — that is exactly the
+// conservative-window guarantee — so a shorter latency is rejected.
+func NewClusterLink(cl *sim.Cluster, src, dst int, cfg Config) (*Link, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.LinkLatency < cl.Lookahead() {
+		return nil, fmt.Errorf("interconnect: LinkLatency %v below cluster lookahead %v",
+			cfg.LinkLatency, cl.Lookahead())
+	}
+	return &Link{eng: cl.Engine(src), cfg: cfg, post: cl.Mailbox(dst).Post}, nil
+}
+
+// deliver schedules a far-end callback: on the shared engine directly, or
+// through the cluster mailbox when the ends live on different engines.
+func (l *Link) deliver(at units.Time, fn sim.Handler) {
+	if l.post != nil {
+		l.post(at, fn)
+		return
+	}
+	l.eng.At(at, fn)
 }
 
 // AttachMetrics registers the link's observability instruments under the
@@ -126,11 +159,11 @@ func (l *Link) SendWith(n units.Bytes, onPacket func(units.Bytes), onDelivered s
 		last := remaining == 0
 		if onPacket != nil && pkt > 0 {
 			size := pkt
-			l.eng.At(deliver, func() { onPacket(size) })
+			l.deliver(deliver, func() { onPacket(size) })
 		}
 		if last {
 			if onDelivered != nil {
-				l.eng.At(deliver, onDelivered)
+				l.deliver(deliver, onDelivered)
 			}
 			break
 		}

@@ -44,6 +44,37 @@ func NewRing(eng *sim.Engine, n int, cfg Config) (*Ring, error) {
 	return r, nil
 }
 
+// NewClusterRing builds a ring whose devices live on the per-device engines
+// of a cluster: link i serializes on device i's engine and delivers into its
+// neighbor's mailbox. Mailboxes are registered in device order (forward then
+// backward per device), which fixes the barrier drain order and therefore
+// the cross-engine delivery order for every worker count.
+func NewClusterRing(cl *sim.Cluster, cfg Config) (*Ring, error) {
+	n := len(cl.Engines())
+	if n < 2 {
+		return nil, fmt.Errorf("interconnect: ring needs >= 2 devices, got %d", n)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r := &Ring{n: n, cfg: cfg}
+	r.forward = make([]*Link, n)
+	r.backward = make([]*Link, n)
+	for i := 0; i < n; i++ {
+		fl, err := NewClusterLink(cl, i, (i+1)%n, cfg)
+		if err != nil {
+			return nil, err
+		}
+		bl, err := NewClusterLink(cl, i, (i-1+n)%n, cfg)
+		if err != nil {
+			return nil, err
+		}
+		r.forward[i] = fl
+		r.backward[i] = bl
+	}
+	return r, nil
+}
+
 // AttachMetrics registers every ring link's instruments on m: forward links
 // as "fwd<i>", backward links as "bwd<i>" (see Link.AttachMetrics).
 func (r *Ring) AttachMetrics(m metrics.Sink) {

@@ -1,0 +1,249 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+
+	"t3sim/internal/check"
+	"t3sim/internal/units"
+)
+
+// Cluster coordinates one private Engine per device and advances them in
+// bounded time windows — conservative (Chandy–Misra-style) parallel DES with
+// a barrier window instead of null messages. The window width is the
+// cluster's lookahead: the minimum latency of any cross-engine interaction,
+// which in this repository is the ring link latency, since ring deliveries
+// are the only way one device's simulation affects another's.
+//
+// The synchronization argument: let m be the earliest pending event across
+// all engines at a barrier. Every engine may safely execute events strictly
+// before D = m + lookahead, because any cross-engine message sent inside the
+// window is sent at some t >= m and cannot be delivered before t + lookahead
+// >= D. Cross-engine sends go through Mailboxes instead of Engine.At; the
+// coordinator drains every mailbox at each barrier — single-threaded, in
+// mailbox registration order, (time, senderSeq)-sorted within a mailbox — so
+// delivery order is a pure function of the model, never of goroutine
+// scheduling, and results are identical at every worker count.
+//
+// Engines remain strictly single-goroutine: within a window each engine is
+// driven by exactly one worker, and between windows only the coordinator
+// touches them.
+type Cluster struct {
+	lookahead units.Time
+	engines   []*Engine
+	boxes     []*Mailbox
+	barrier   units.Time // deadline of the last completed window
+	la        *check.Lookahead
+}
+
+// NewCluster returns a coordinator owning n fresh engines. The lookahead
+// must be positive — a zero-latency link admits no conservative window, so
+// callers with LinkLatency == 0 must fall back to a single shared engine.
+func NewCluster(n int, lookahead units.Time) *Cluster {
+	if n < 1 {
+		panic(fmt.Sprintf("sim: cluster of %d engines", n))
+	}
+	if lookahead <= 0 {
+		panic(fmt.Sprintf("sim: non-positive lookahead %v", lookahead))
+	}
+	c := &Cluster{lookahead: lookahead, engines: make([]*Engine, n)}
+	for i := range c.engines {
+		c.engines[i] = NewEngine()
+	}
+	return c
+}
+
+// Engines returns the per-device engines, indexed by device.
+func (c *Cluster) Engines() []*Engine { return c.engines }
+
+// Engine returns the engine owned by device i.
+func (c *Cluster) Engine(i int) *Engine { return c.engines[i] }
+
+// Lookahead returns the conservative window width.
+func (c *Cluster) Lookahead() units.Time { return c.lookahead }
+
+// AttachChecker arms every engine's monotonicity witness plus the cluster's
+// lookahead-violation law: a drained message timestamped inside the window
+// that just ran proves the synchronization layer let an engine race ahead of
+// a delivery it should have seen. A nil checker detaches.
+func (c *Cluster) AttachChecker(chk *check.Checker) {
+	for _, e := range c.engines {
+		e.AttachChecker(chk)
+	}
+	c.la = chk.Lookahead("sim.cluster")
+}
+
+// mail is one cross-engine message: a handler to run on the destination
+// engine at an absolute time, stamped with the sender's per-mailbox sequence
+// number so same-timestamp messages keep their send order.
+type mail struct {
+	at  units.Time
+	seq uint64
+	fn  Handler
+}
+
+// Mailbox carries cross-engine messages toward one destination engine. A
+// sender running inside a window calls Post instead of dst.At (which would
+// race with the destination's worker); the coordinator drains the box at the
+// next barrier. Each mailbox is meant to serve a single logical sender (one
+// ring link); the mutex exists so unrelated senders on other goroutines can
+// post to *other* mailboxes concurrently while the race detector still sees
+// a clean handoff to the coordinator.
+type Mailbox struct {
+	dst *Engine
+	mu  sync.Mutex
+	seq uint64
+	in  []mail
+}
+
+// Mailbox registers and returns a new mailbox delivering into device dst's
+// engine. Registration order is drain order at each barrier, so callers must
+// register mailboxes in a deterministic order at setup time.
+func (c *Cluster) Mailbox(dst int) *Mailbox {
+	b := &Mailbox{dst: c.engines[dst]}
+	c.boxes = append(c.boxes, b)
+	return b
+}
+
+// Post schedules fn on the destination engine at absolute time at. The
+// message is held until the next window barrier; the conservative window
+// guarantees at lands at or after that barrier.
+func (b *Mailbox) Post(at units.Time, fn Handler) {
+	if fn == nil {
+		panic("sim: posting nil handler")
+	}
+	b.mu.Lock()
+	b.seq++
+	b.in = append(b.in, mail{at: at, seq: b.seq, fn: fn})
+	b.mu.Unlock()
+}
+
+// sortMail orders messages by (time, sender seq) — insertion sort, since a
+// window's worth of deliveries on one link is small and this keeps the drain
+// path allocation-free.
+func sortMail(ms []mail) {
+	for i := 1; i < len(ms); i++ {
+		m := ms[i]
+		j := i - 1
+		for j >= 0 && (ms[j].at > m.at || (ms[j].at == m.at && ms[j].seq > m.seq)) {
+			ms[j+1] = ms[j]
+			j--
+		}
+		ms[j+1] = m
+	}
+}
+
+// drain moves every held message into its destination engine's calendar.
+// Runs single-threaded at a barrier: mailbox registration order, then
+// (time, seq) within a mailbox, so delivery order is deterministic.
+func (c *Cluster) drain() {
+	for _, b := range c.boxes {
+		b.mu.Lock()
+		ms := b.in
+		b.in = b.in[:0]
+		b.mu.Unlock()
+		sortMail(ms)
+		for _, m := range ms {
+			c.la.Observe(c.barrier, m.at)
+			at := m.at
+			if at < b.dst.Now() {
+				// Lookahead violated (already recorded): clamp so the run
+				// can continue and surface every subsequent violation too.
+				at = b.dst.Now()
+			}
+			b.dst.At(at, m.fn)
+		}
+	}
+}
+
+// minNext returns the earliest pending event time across all engines, or
+// false when every calendar is empty.
+func (c *Cluster) minNext() (units.Time, bool) {
+	var min units.Time
+	any := false
+	for _, e := range c.engines {
+		if at, ok := e.NextAt(); ok && (!any || at < min) {
+			min, any = at, true
+		}
+	}
+	return min, any
+}
+
+// horizon returns the furthest engine clock — the final barrier deadline.
+// Note this is the end of the last conservative window, not the timestamp of
+// the last event; models record completion times inside handlers.
+func (c *Cluster) horizon() units.Time {
+	var h units.Time
+	for _, e := range c.engines {
+		if e.Now() > h {
+			h = e.Now()
+		}
+	}
+	return h
+}
+
+// Run advances every engine to quiescence — no pending events, no held
+// messages — using up to workers goroutines per window, and returns the
+// final window deadline. workers <= 1 runs every window inline on the
+// calling goroutine; either way the event order, and therefore the result,
+// is identical: worker count only changes which goroutine drives an engine,
+// never what the engine observes.
+func (c *Cluster) Run(workers int) units.Time {
+	n := len(c.engines)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for {
+			c.drain()
+			min, ok := c.minNext()
+			if !ok {
+				return c.horizon()
+			}
+			d := min + c.lookahead
+			for _, e := range c.engines {
+				e.RunBefore(d)
+			}
+			c.barrier = d
+		}
+	}
+
+	// Persistent worker pool: worker w owns the static engine stride
+	// w, w+workers, w+2·workers, … for the whole run, so an engine is only
+	// ever driven by one goroutine. Each round broadcasts the window
+	// deadline; the WaitGroup barrier orders every in-window Mailbox.Post
+	// before the coordinator's drain.
+	var wg sync.WaitGroup
+	rounds := make([]chan units.Time, workers)
+	for w := range rounds {
+		rounds[w] = make(chan units.Time, 1)
+		go func(w int) {
+			for d := range rounds[w] {
+				for i := w; i < n; i += workers {
+					c.engines[i].RunBefore(d)
+				}
+				wg.Done()
+			}
+		}(w)
+	}
+	defer func() {
+		for _, ch := range rounds {
+			close(ch)
+		}
+	}()
+
+	for {
+		c.drain()
+		min, ok := c.minNext()
+		if !ok {
+			return c.horizon()
+		}
+		d := min + c.lookahead
+		wg.Add(workers)
+		for _, ch := range rounds {
+			ch <- d
+		}
+		wg.Wait()
+		c.barrier = d
+	}
+}

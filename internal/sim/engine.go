@@ -150,6 +150,36 @@ func (e *Engine) RunUntil(deadline units.Time) units.Time {
 	return e.now
 }
 
+// RunBefore executes events with timestamps strictly before deadline,
+// including events that handlers schedule inside the window while draining,
+// then advances the clock to the deadline. It is the conservative-window
+// primitive of Cluster: after RunBefore(D) returns, every remaining event —
+// and every event this engine can ever schedule from here on — fires at or
+// after D, so a coordinator may safely inject cross-engine deliveries
+// timestamped >= D before the next window.
+//
+// Postcondition: Now() == deadline, and Pending() holds only events at or
+// after the deadline.
+func (e *Engine) RunBefore(deadline units.Time) units.Time {
+	if deadline < e.now {
+		panic(fmt.Sprintf("sim: RunBefore(%v) before now %v", deadline, e.now))
+	}
+	for len(e.queue) > 0 && e.queue[0].at < deadline {
+		e.step()
+	}
+	e.now = deadline
+	return e.now
+}
+
+// NextAt returns the earliest pending event's timestamp, or false when the
+// queue is empty. Cluster uses it to compute the global window horizon.
+func (e *Engine) NextAt() (units.Time, bool) {
+	if len(e.queue) == 0 {
+		return 0, false
+	}
+	return e.queue[0].at, true
+}
+
 func (e *Engine) step() {
 	ev := e.pop()
 	e.mono.Observe(ev.at)

@@ -85,6 +85,17 @@ type FusedOptions struct {
 	// event. A nil sink records nothing and costs nothing. If
 	// Memory.Metrics is already set it wins for the controller.
 	Metrics metrics.Sink
+	// ParWorkers selects the execution strategy for the explicit
+	// multi-device run (RunFusedGEMMRSMultiDevice only; single-GPU mirror
+	// runs ignore it). 0 — the default — simulates all devices on one
+	// shared engine, the legacy sequential path. Any positive value runs
+	// each device on its own sim.Cluster engine, advanced in conservative
+	// windows of one link latency, using up to ParWorkers goroutines per
+	// window. Results are byte-identical at every value — the knob trades
+	// wall-clock time only — so it is excluded from the experiment memo key
+	// (policySkip). Falls back to the sequential path when LinkLatency is
+	// zero, since a zero lookahead admits no conservative window.
+	ParWorkers int
 	// Check, if non-nil, is threaded through every model the same way
 	// Metrics is: the engine witnesses event-time monotonicity, the memory
 	// channels witness service non-overlap and queue-depth bounds, the ring

@@ -50,10 +50,13 @@ func (r *MultiDeviceResult) Skew() units.Time {
 	return hi - lo
 }
 
-// multiDevice is one device's state in the explicit run.
+// multiDevice is one device's state in the explicit run. Every field is
+// device-local: in cluster mode all of a device's handlers run on its own
+// engine, so no two goroutines ever touch the same multiDevice.
 type multiDevice struct {
 	id   int
 	run  *multiRun
+	eng  *sim.Engine // the engine this device's handlers run on
 	mem  *memory.Controller
 	trk  *Tracker
 	dma  *DMATable
@@ -66,12 +69,16 @@ type multiDevice struct {
 
 	gemmDone       units.Time
 	collectiveDone units.Time
+	err            error // first model error on this device (single-writer)
 }
 
-// multiRun owns the shared state of the explicit N-device simulation.
+// multiRun owns the shared state of the explicit N-device simulation. The
+// mutable pieces are all per-device (in devs); everything here is read-only
+// after setup, so the cluster's worker goroutines share it freely.
 type multiRun struct {
 	o    FusedOptions
-	eng  *sim.Engine
+	eng  *sim.Engine  // sequential mode: the one shared engine (nil in cluster mode)
+	cl   *sim.Cluster // cluster mode: one engine per device (nil in sequential mode)
 	ring *interconnect.Ring
 	devs []*multiDevice
 
@@ -79,15 +86,26 @@ type multiRun struct {
 	totalTiles int
 	chunkStart []int // address-space tile index where each chunk begins
 
-	allDone *sim.Fence
-	result  MultiDeviceResult
-	err     error
+	result MultiDeviceResult
+}
+
+// engOf returns the engine device d's handlers run on.
+func (r *multiRun) engOf(d int) *sim.Engine {
+	if r.cl != nil {
+		return r.cl.Engine(d)
+	}
+	return r.eng
 }
 
 // RunFusedGEMMRSMultiDevice executes the fused GEMM→ring-reduce-scatter
 // with every device simulated explicitly: per-device memory systems,
 // trackers and DMA tables, staggered production orders (§4.4), and real
 // cross-device deliveries over the ring — no mirroring.
+//
+// With o.ParWorkers > 0 (and a positive link latency) each device is
+// simulated on its own engine inside a sim.Cluster, advanced in conservative
+// windows one link latency wide; the result is byte-identical to the
+// sequential run at every worker count.
 func RunFusedGEMMRSMultiDevice(o FusedOptions) (MultiDeviceResult, error) {
 	if o.Collective != RingReduceScatter {
 		return MultiDeviceResult{}, fmt.Errorf("t3core: multi-device run supports ring reduce-scatter, got %v", o.Collective)
@@ -98,9 +116,25 @@ func RunFusedGEMMRSMultiDevice(o FusedOptions) (MultiDeviceResult, error) {
 	if o.Grid.Tiling.SplitK != 1 {
 		return MultiDeviceResult{}, fmt.Errorf("t3core: multi-device run supports SplitK=1 only")
 	}
-	r := &multiRun{o: o, eng: sim.NewEngine()}
-	r.eng.AttachChecker(o.Check)
+	r := &multiRun{o: o}
 	n := o.Devices
+	// A zero-latency link admits no conservative window (the lookahead must
+	// be positive), so such configurations fall back to the shared engine.
+	parallel := o.ParWorkers > 0 && o.Link.LinkLatency > 0
+	var ring *interconnect.Ring
+	var err error
+	if parallel {
+		r.cl = sim.NewCluster(n, o.Link.LinkLatency)
+		r.cl.AttachChecker(o.Check)
+		ring, err = interconnect.NewClusterRing(r.cl, o.Link)
+	} else {
+		r.eng = sim.NewEngine()
+		r.eng.AttachChecker(o.Check)
+		ring, err = interconnect.NewRing(r.eng, n, o.Link)
+	}
+	if err != nil {
+		return MultiDeviceResult{}, err
+	}
 	r.tileBytes = o.Grid.WFTileBytes()
 	r.totalTiles = o.Grid.NumWFs()
 	bounds := collective.ChunkBounds(r.totalTiles, n)
@@ -110,16 +144,11 @@ func RunFusedGEMMRSMultiDevice(o FusedOptions) (MultiDeviceResult, error) {
 	}
 	r.chunkStart[n] = r.totalTiles
 
-	ring, err := interconnect.NewRing(r.eng, n, o.Link)
-	if err != nil {
-		return MultiDeviceResult{}, err
-	}
 	if o.Metrics != nil {
 		ring.AttachMetrics(o.Metrics)
 	}
 	r.ring = ring
 
-	r.allDone = sim.NewFence(n, nil)
 	r.devs = make([]*multiDevice, n)
 	for d := 0; d < n; d++ {
 		md, err := r.newDevice(d)
@@ -133,7 +162,7 @@ func RunFusedGEMMRSMultiDevice(o FusedOptions) (MultiDeviceResult, error) {
 	for d := 0; d < n; d++ {
 		md := r.devs[d]
 		kernel := &gpu.GEMMKernel{
-			Eng:               r.eng,
+			Eng:               md.eng,
 			Mem:               md.mem,
 			GPU:               o.GPU,
 			Grid:              o.Grid,
@@ -144,17 +173,26 @@ func RunFusedGEMMRSMultiDevice(o FusedOptions) (MultiDeviceResult, error) {
 			DoubleBuffered:    o.DoubleBufferedGEMM,
 			Metrics:           md.sink,
 		}
-		if err := kernel.Start(func() { md.gemmDone = r.eng.Now() }); err != nil {
+		if err := kernel.Start(func() { md.gemmDone = md.eng.Now() }); err != nil {
 			return MultiDeviceResult{}, err
 		}
 	}
-	r.eng.Run()
-	if r.err != nil {
-		return MultiDeviceResult{}, r.err
+	if parallel {
+		r.cl.Run(o.ParWorkers)
+	} else {
+		r.eng.Run()
 	}
-	if !r.allDone.Fired() {
-		return MultiDeviceResult{}, fmt.Errorf("t3core: multi-device run stalled: %d devices incomplete",
-			r.allDone.Remaining())
+	stalled := 0
+	for _, md := range r.devs {
+		if md.err != nil {
+			return MultiDeviceResult{}, md.err
+		}
+		if !md.ownedFence.Fired() {
+			stalled++
+		}
+	}
+	if stalled > 0 {
+		return MultiDeviceResult{}, fmt.Errorf("t3core: multi-device run stalled: %d devices incomplete", stalled)
 	}
 	res := &r.result
 	for d := 0; d < n; d++ {
@@ -196,11 +234,12 @@ func (r *multiRun) newDevice(d int) (*multiDevice, error) {
 	if o.Check != nil && o.Memory.Check == nil {
 		o.Memory.Check = o.Check
 	}
-	mc, err := memory.NewController(r.eng, o.Memory, arb)
+	eng := r.engOf(d)
+	mc, err := memory.NewController(eng, o.Memory, arb)
 	if err != nil {
 		return nil, err
 	}
-	md := &multiDevice{id: d, run: r, mem: mc, sink: sink, amap: RingReduceScatterMap(d, o.Devices)}
+	md := &multiDevice{id: d, run: r, eng: eng, mem: mc, sink: sink, amap: RingReduceScatterMap(d, o.Devices)}
 	if err := md.amap.Validate(); err != nil {
 		return nil, err
 	}
@@ -239,8 +278,7 @@ func (r *multiRun) newDevice(d int) (*multiDevice, error) {
 	ownedChunk := md.amap.Phases[o.Devices-1].Chunk
 	ownedTiles := r.chunkStart[ownedChunk+1] - r.chunkStart[ownedChunk]
 	md.ownedFence = sim.NewFence(ownedTiles, func() {
-		md.collectiveDone = r.eng.Now()
-		r.allDone.Done()
+		md.collectiveDone = md.eng.Now()
 	})
 	return md, nil
 }
@@ -323,8 +361,8 @@ func (md *multiDevice) stageIncoming(tile int) {
 }
 
 func (md *multiDevice) observe(tile int) {
-	if err := md.trk.Observe(tileIDFor(tile), md.run.tileBytes); err != nil && md.run.err == nil {
-		md.run.err = err
+	if err := md.trk.Observe(tileIDFor(tile), md.run.tileBytes); err != nil && md.err == nil {
+		md.err = err
 	}
 }
 

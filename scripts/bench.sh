@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # bench.sh — run the benchmark suite and the full experiment catalogue, and
-# emit a machine-readable snapshot (BENCH_4.json by default).
+# emit a machine-readable snapshot (BENCH_5.json by default).
 #
 # The root package's Benchmark* functions replay whole catalogue experiments,
 # so they run at ROOT_BENCHTIME (default 1x: one full iteration each). The
@@ -8,6 +8,12 @@
 # path (channel service, tracker observe/fire, DMA table, trigger chain) and
 # run at MICRO_BENCHTIME (default 1000x) so ns/op is meaningful; their
 # allocs/op figures are exact at any benchtime.
+#
+# The multi-device scaling section re-runs the explicit 8-device simulation
+# at ParWorkers 0 (sequential single engine) and 2/4/8 (conservative parallel
+# cluster) at SCALING_BENCHTIME (default 3x) and records the wall-clock
+# speedups; output is byte-identical at every worker count, so only the
+# timing moves.
 #
 # Usage:
 #   scripts/bench.sh [output.json]
@@ -17,9 +23,10 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out=${1:-BENCH_4.json}
+out=${1:-BENCH_5.json}
 root_benchtime=${ROOT_BENCHTIME:-1x}
 micro_benchtime=${MICRO_BENCHTIME:-1000x}
+scaling_benchtime=${SCALING_BENCHTIME:-3x}
 
 workdir=$(mktemp -d)
 trap 'rm -rf "$workdir"' EXIT
@@ -29,6 +36,18 @@ echo "== benchmarks: root suite (-benchtime $root_benchtime) =="
 go test -run '^$' -bench . -benchtime "$root_benchtime" -benchmem . | tee "$raw"
 echo "== benchmarks: internal hot-path suites (-benchtime $micro_benchtime) =="
 go test -run '^$' -bench . -benchtime "$micro_benchtime" -benchmem ./internal/... | tee -a "$raw"
+
+echo "== multi-device scaling: explicit 8-device run, -par 0/2/4/8 (-benchtime $scaling_benchtime) =="
+scaling_raw="$workdir/scaling.txt"
+go test -run '^$' -bench 'BenchmarkMultiDevice' -benchtime "$scaling_benchtime" . | tee "$scaling_raw"
+scaling_ns() {
+    awk -v bench="$1" '$1 ~ "^"bench"-?[0-9]*$" { print $3; exit }' "$scaling_raw"
+}
+seq_ns=$(scaling_ns BenchmarkMultiDeviceSequential)
+w2_ns=$(scaling_ns BenchmarkMultiDeviceWorkers2)
+w4_ns=$(scaling_ns BenchmarkMultiDeviceWorkers4)
+w8_ns=$(scaling_ns BenchmarkMultiDeviceWorkers8)
+echo "multi-device scaling ns/op: seq=$seq_ns w2=$w2_ns w4=$w4_ns w8=$w8_ns"
 
 echo "== experiment catalogue: -exp all -j 1 wall time =="
 go build -o "$workdir/t3sim" ./cmd/t3sim
@@ -43,7 +62,9 @@ go_version=$(go env GOVERSION)
 awk -v go_version="$go_version" \
     -v root_benchtime="$root_benchtime" \
     -v micro_benchtime="$micro_benchtime" \
-    -v exp_all_seconds="$exp_all_seconds" '
+    -v scaling_benchtime="$scaling_benchtime" \
+    -v exp_all_seconds="$exp_all_seconds" \
+    -v seq_ns="$seq_ns" -v w2_ns="$w2_ns" -v w4_ns="$w4_ns" -v w8_ns="$w8_ns" '
 /^pkg:/ { pkg = $2 }
 /^Benchmark/ {
     name = $1
@@ -66,6 +87,17 @@ END {
     printf "  \"root_benchtime\": \"%s\",\n", root_benchtime
     printf "  \"micro_benchtime\": \"%s\",\n", micro_benchtime
     printf "  \"exp_all_j1_seconds\": %s,\n", exp_all_seconds
+    printf "  \"multi_device_scaling\": {\n"
+    printf "    \"benchtime\": \"%s\",\n", scaling_benchtime
+    printf "    \"devices\": 8,\n"
+    printf "    \"sequential_ns_per_op\": %s,\n", seq_ns
+    printf "    \"workers2_ns_per_op\": %s,\n", w2_ns
+    printf "    \"workers4_ns_per_op\": %s,\n", w4_ns
+    printf "    \"workers8_ns_per_op\": %s,\n", w8_ns
+    printf "    \"speedup_workers2\": %.3f,\n", seq_ns / w2_ns
+    printf "    \"speedup_workers4\": %.3f,\n", seq_ns / w4_ns
+    printf "    \"speedup_workers8\": %.3f\n", seq_ns / w8_ns
+    printf "  },\n"
     printf "  \"benchmarks\": [\n"
     for (i = 1; i <= n; i++) printf "%s%s\n", rows[i], i < n ? "," : ""
     printf "  ]\n"
