@@ -358,6 +358,60 @@ func BenchmarkMultiDeviceWorkers2(b *testing.B)   { runMultiDeviceBench(b, 2) }
 func BenchmarkMultiDeviceWorkers4(b *testing.B)   { runMultiDeviceBench(b, 4) }
 func BenchmarkMultiDeviceWorkers8(b *testing.B)   { runMultiDeviceBench(b, 8) }
 
+// multiDevice64Opts is the 64-device Fig-20-regime shape: the scale run
+// dynamic per-device lookahead makes routine. Smaller per-device GEMM than
+// the 8-device family — the point here is coordination cost across many
+// engines, not raw event throughput.
+func multiDevice64Opts(b *testing.B, workers int) t3sim.FusedOptions {
+	b.Helper()
+	grid, err := t3sim.NewGrid(
+		t3sim.GEMMShape{M: 2048, N: 2048, K: 512, ElemBytes: 2}, t3sim.DefaultTiling())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return t3sim.FusedOptions{
+		GPU:         t3sim.DefaultGPUConfig(),
+		Memory:      t3sim.DefaultMemoryConfig(),
+		Link:        t3sim.DefaultLinkConfig(),
+		Tracker:     t3sim.TrackerConfig{Sets: 256, Ways: 64, MaxWFsPerWG: 8},
+		Devices:     64,
+		Grid:        grid,
+		Collective:  t3sim.RingReduceScatterCollective,
+		Arbitration: t3sim.ArbRoundRobin,
+		ParWorkers:  workers,
+	}
+}
+
+// runMultiDevice64Bench runs one full explicit 64-device simulation per
+// iteration and reports the scheduler's windowing statistics as custom
+// metrics: windows/op (coordinator rounds) and window-ps/op (average
+// simulated picoseconds one engine advances per window) — the
+// lookahead-quality numbers scripts/bench.sh records in BENCH_6.json.
+// Skipped under -short so `go test -short ./...` stays fast.
+func runMultiDevice64Bench(b *testing.B, workers int) {
+	if testing.Short() {
+		b.Skip("64-device scaling benchmarks are long; run without -short")
+	}
+	opts := multiDevice64Opts(b, workers)
+	var st t3sim.ClusterStats
+	opts.ClusterStats = &st
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := t3sim.RunFusedGEMMRSMultiDevice(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if workers > 0 && st.Windows > 0 {
+		b.ReportMetric(float64(st.Windows), "windows/op")
+		b.ReportMetric(float64(st.AvgWindowWidth()), "window-ps/op")
+	}
+}
+
+func BenchmarkMultiDevice64Sequential(b *testing.B) { runMultiDevice64Bench(b, 0) }
+func BenchmarkMultiDevice64Workers2(b *testing.B)   { runMultiDevice64Bench(b, 2) }
+func BenchmarkMultiDevice64Workers4(b *testing.B)   { runMultiDevice64Bench(b, 4) }
+func BenchmarkMultiDevice64Workers8(b *testing.B)   { runMultiDevice64Bench(b, 8) }
+
 func BenchmarkFunctionalFusedRS(b *testing.B) {
 	data := make([][]float32, 8)
 	for d := range data {

@@ -269,6 +269,26 @@ func (la *Lookahead) Observe(barrier, deliverAt units.Time) {
 	}
 }
 
+// ObserveLink checks one drained message against its link's law — the
+// per-link refinement of the window guarantee that dynamic per-device
+// lookahead rests on. The message was posted no earlier than windowStart (the
+// sending engine's clock when its current posting window opened, i.e. at the
+// previous drain) and must travel at least minLatency (the latency the link
+// registered with the cluster), so a delivery timestamped before
+// windowStart+minLatency proves the model lied about the link's latency: the
+// per-device horizons derived from that latency could have let the receiver
+// run past the delivery.
+func (la *Lookahead) ObserveLink(windowStart, minLatency, deliverAt units.Time) {
+	if la == nil {
+		return
+	}
+	if deliverAt < windowStart+minLatency {
+		la.c.Violationf(deliverAt, la.path, RuleOrdering+"/link-lookahead",
+			"message delivered at %v but the link admits nothing before %v (window start %v + link latency %v)",
+			deliverAt, windowStart+minLatency, windowStart, minLatency)
+	}
+}
+
 // CrossLedger verifies a conservation law that spans engines running on
 // different goroutines — ring bytes injected by every sender equal bytes
 // staged by every receiver. Unlike Ledger (a single-writer running balance),

@@ -117,6 +117,9 @@ var catalogue = []CatalogueEntry{
 	{"mirror", "mirror-methodology validation (§5.1.1)", func(r *Runner) (Renderable, error) {
 		return wrapResult(MirrorValidation(r.setup))
 	}},
+	{"multi64", "64-device explicit scale run (Fig-20 regime, ROADMAP item 3)", func(r *Runner) (Renderable, error) {
+		return wrapResult(Multi64(r.setup))
+	}},
 	{"coarse-overlap", "coarse-grained DP contention study (§3.2.2/§7.2)", func(r *Runner) (Renderable, error) {
 		return wrapResult(CoarseOverlap(r.setup))
 	}},

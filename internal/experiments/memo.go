@@ -88,6 +88,10 @@ var hashPolicies = map[reflect.Type]map[string]fieldPolicy{
 		"Events":        policyBarrier,
 		"Metrics":       policyBarrier,
 		"Check":         policySkip,
+		// ClusterStats is an out-parameter recording scheduler windowing —
+		// like Events/Metrics, a caller asking for it wants this run's
+		// recording, so it must not be served from cache.
+		"ClusterStats": policyBarrier,
 	},
 	reflect.TypeOf(memory.Config{}): {
 		"Channels":           policyHash,

@@ -2,38 +2,132 @@ package sim
 
 import (
 	"fmt"
+	"math"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"t3sim/internal/check"
 	"t3sim/internal/units"
 )
 
+// never is the +infinity timestamp: the base time of an engine with an empty
+// calendar, and the horizon of an engine no pending event can ever reach.
+const never = units.Time(math.MaxInt64)
+
 // Cluster coordinates one private Engine per device and advances them in
-// bounded time windows — conservative (Chandy–Misra-style) parallel DES with
-// a barrier window instead of null messages. The window width is the
-// cluster's lookahead: the minimum latency of any cross-engine interaction,
-// which in this repository is the ring link latency, since ring deliveries
-// are the only way one device's simulation affects another's.
+// bounded rounds — conservative (Chandy–Misra-style) parallel DES with
+// null-message-style bounds recomputed each round instead of actual null
+// messages.
 //
-// The synchronization argument: let m be the earliest pending event across
-// all engines at a barrier. Every engine may safely execute events strictly
-// before D = m + lookahead, because any cross-engine message sent inside the
-// window is sent at some t >= m and cannot be delivered before t + lookahead
-// >= D. Cross-engine sends go through Mailboxes instead of Engine.At; the
-// coordinator drains every mailbox at each barrier — single-threaded, in
-// mailbox registration order, (time, senderSeq)-sorted within a mailbox — so
-// delivery order is a pure function of the model, never of goroutine
-// scheduling, and results are identical at every worker count.
+// Dynamic per-device lookahead. Each round the coordinator computes, for
+// every engine j, a lower bound B_j on the earliest time j can execute
+// anything from the current state:
 //
-// Engines remain strictly single-goroutine: within a window each engine is
-// driven by exactly one worker, and between windows only the coordinator
-// touches them.
+//	B_j = min( base_j, min over links s→j of (B_s + latency(s→j)) )
+//
+// where base_j is j's earliest pending event (never, if idle). This is a
+// shortest-path relaxation over the link graph — computed with a multi-source
+// Dijkstra seeded with the base times — and it must be transitive: a device
+// whose direct neighbors are idle can still be reached by a pending event two
+// hops away, so bounding by direct neighbors' base times alone would let it
+// run past a future delivery. Engine i may then execute every event strictly
+// before its horizon
+//
+//	H_i = min over links s→i of (B_s + latency(s→i))
+//
+// because any message a neighbor can still send departs no earlier than B_s
+// and travels at least the link latency. A device whose neighbors are far in
+// the future runs many global windows' worth of events in one round without
+// synchronizing; a device with no inbound link at all (H = never) runs to
+// completion. Mailboxes registered without a source (Mailbox, as opposed to
+// LinkMailbox) admit posts from anywhere with only the cluster-wide lookahead
+// guarantee, so they floor their destination's bound and horizon at
+// min-over-all-engines(base) + lookahead — exactly the legacy global window.
+//
+// Progress: an engine holding the globally earliest event m is always
+// runnable, because every B is at least m and every link latency is positive,
+// so its horizon strictly exceeds m. Safety across rounds: H_i never
+// decreases (bases only move forward between rounds), so RunBefore deadlines
+// are monotone per engine.
+//
+// Determinism: cross-engine sends go through Mailboxes instead of Engine.At;
+// the coordinator drains every mailbox at each round boundary —
+// single-threaded, in mailbox registration order, (time, senderSeq)-sorted
+// within a mailbox — so delivery order is a pure function of the model, never
+// of goroutine scheduling or worker count. Engines remain strictly
+// single-goroutine: within a round each runnable engine is driven by exactly
+// one worker, and between rounds only the coordinator touches them.
 type Cluster struct {
 	lookahead units.Time
 	engines   []*Engine
 	boxes     []*Mailbox
-	barrier   units.Time // deadline of the last completed window
+	barrier   units.Time     // unattributed-mail floor of the last round (legacy global window)
+	chk       *check.Checker // retained so late-registered mailboxes get link handles
 	la        *check.Lookahead
+
+	// Link topology, rebuilt lazily from boxes when Run starts.
+	builtBoxes int
+	in         [][]edge // per-engine inbound attributed links (peer = source)
+	out        [][]edge // per-engine outbound attributed links (peer = destination)
+	openInbox  []bool   // engine is the destination of an unattributed Mailbox
+
+	// Per-round scratch, sized once and reused so steady-state rounds are
+	// allocation-free.
+	base     []units.Time // earliest pending event per engine (never = idle)
+	baseTree minTree      // batched min reduction over base
+	dirty    []bool       // base[i] may be stale (engine ran or received mail)
+	dirtyIdx []int32
+	bound    []units.Time // B_j of the current round
+	horizons []units.Time // H_i of the current round
+	heap     djHeap       // Dijkstra worklist
+	runnable []int32      // engines with base < horizon this round
+	prevNow  []units.Time // clock at round start, for window-width accounting
+
+	stats ClusterStats
+
+	// Persistent worker pool (workers > 1). Workers park on parCond between
+	// rounds; the coordinator publishes a round under parMu and then waits on
+	// idleCond until every worker is parked again and every claimed engine
+	// has finished — the all-parked barrier that makes the shared scratch
+	// slices safe to rebuild.
+	parMu    sync.Mutex
+	parCond  *sync.Cond
+	idleCond *sync.Cond
+	round    uint64
+	parked   int
+	done     int
+	nworkers int
+	stopping bool
+	wg       sync.WaitGroup
+	claim    atomic.Int64
+	left     atomic.Int64
+}
+
+// edge is one attributed link endpoint adjacency entry.
+type edge struct {
+	peer int32
+	lat  units.Time
+}
+
+// ClusterStats summarizes one Run's windowing behaviour: how many rounds the
+// coordinator drove, how many engine-window executions those rounds issued
+// (skipped engines don't count), and the total simulated time those
+// executions covered. AvgWindowWidth is the lookahead-quality metric tracked
+// across PRs: wider windows mean less synchronization per simulated second.
+type ClusterStats struct {
+	Windows       uint64     // coordinator rounds
+	EngineWindows uint64     // per-engine window executions across all rounds
+	Advance       units.Time // total simulated time advanced, summed over engines
+}
+
+// AvgWindowWidth returns the mean simulated time one engine advanced per
+// window execution, or 0 for an empty run.
+func (s ClusterStats) AvgWindowWidth() units.Time {
+	if s.EngineWindows == 0 {
+		return 0
+	}
+	return s.Advance / units.Time(s.EngineWindows)
 }
 
 // NewCluster returns a coordinator owning n fresh engines. The lookahead
@@ -59,18 +153,27 @@ func (c *Cluster) Engines() []*Engine { return c.engines }
 // Engine returns the engine owned by device i.
 func (c *Cluster) Engine(i int) *Engine { return c.engines[i] }
 
-// Lookahead returns the conservative window width.
+// Lookahead returns the cluster-wide minimum lookahead: the floor for every
+// link latency, and the window width unattributed mailboxes fall back to.
 func (c *Cluster) Lookahead() units.Time { return c.lookahead }
 
+// Stats returns the windowing statistics accumulated by Run so far.
+func (c *Cluster) Stats() ClusterStats { return c.stats }
+
 // AttachChecker arms every engine's monotonicity witness plus the cluster's
-// lookahead-violation law: a drained message timestamped inside the window
-// that just ran proves the synchronization layer let an engine race ahead of
-// a delivery it should have seen. A nil checker detaches.
+// lookahead laws: the global-window law for unattributed mailboxes and the
+// per-link law for attributed ones. A nil checker detaches.
 func (c *Cluster) AttachChecker(chk *check.Checker) {
+	c.chk = chk
 	for _, e := range c.engines {
 		e.AttachChecker(chk)
 	}
 	c.la = chk.Lookahead("sim.cluster")
+	for _, b := range c.boxes {
+		if b.src >= 0 {
+			b.la = chk.Lookahead(fmt.Sprintf("sim.cluster.link%d-%d", b.src, b.dstIdx))
+		}
+	}
 }
 
 // mail is one cross-engine message: a handler to run on the destination
@@ -83,31 +186,78 @@ type mail struct {
 }
 
 // Mailbox carries cross-engine messages toward one destination engine. A
-// sender running inside a window calls Post instead of dst.At (which would
+// sender running inside a round calls Post instead of dst.At (which would
 // race with the destination's worker); the coordinator drains the box at the
-// next barrier. Each mailbox is meant to serve a single logical sender (one
-// ring link); the mutex exists so unrelated senders on other goroutines can
-// post to *other* mailboxes concurrently while the race detector still sees
-// a clean handoff to the coordinator.
+// next round boundary. Each mailbox is meant to serve a single logical sender
+// (one ring link); the mutex exists so unrelated senders on other goroutines
+// can post to *other* mailboxes concurrently while the race detector still
+// sees a clean handoff to the coordinator.
 type Mailbox struct {
-	dst *Engine
+	dst    *Engine
+	dstIdx int32
+	src    int32 // source engine index, or -1 for an unattributed mailbox
+	srcEng *Engine
+	lat    units.Time // registered minimum link latency (attributed only)
+
+	winStart units.Time       // source clock at the previous drain
+	la       *check.Lookahead // per-link law handle (attributed only)
+
 	mu  sync.Mutex
 	seq uint64
 	in  []mail
 }
 
-// Mailbox registers and returns a new mailbox delivering into device dst's
-// engine. Registration order is drain order at each barrier, so callers must
-// register mailboxes in a deterministic order at setup time.
+// Mailbox registers and returns an unattributed mailbox delivering into
+// device dst's engine: any goroutine may post to it, with only the
+// cluster-wide lookahead guarantee. The destination therefore never advances
+// past the legacy global window (earliest pending event anywhere +
+// lookahead). Prefer LinkMailbox, which tells the scheduler which device
+// posts and how much latency the link guarantees, so the destination can run
+// ahead on its own per-link horizon. Registration order is drain order at
+// each round, so callers must register mailboxes in a deterministic order at
+// setup time.
 func (c *Cluster) Mailbox(dst int) *Mailbox {
-	b := &Mailbox{dst: c.engines[dst]}
+	b := &Mailbox{dst: c.engines[dst], dstIdx: int32(dst), src: -1}
+	c.boxes = append(c.boxes, b)
+	return b
+}
+
+// LinkMailbox registers and returns a mailbox for the directed link
+// src → dst with the given minimum latency: every Post must come from code
+// running on src's engine, timestamped at least minLatency after src's
+// current time. In exchange the scheduler bounds dst by this link's law —
+// B_src + minLatency — instead of the global window, which is what lets
+// devices with distant neighbors run far ahead. minLatency below the cluster
+// lookahead panics: the cluster-wide lookahead is defined as the minimum
+// cross-engine latency, so a tighter link would falsify every unattributed
+// bound already handed out.
+func (c *Cluster) LinkMailbox(src, dst int, minLatency units.Time) *Mailbox {
+	if src < 0 || src >= len(c.engines) || dst < 0 || dst >= len(c.engines) {
+		panic(fmt.Sprintf("sim: link mailbox %d->%d outside cluster of %d", src, dst, len(c.engines)))
+	}
+	if src == dst {
+		panic(fmt.Sprintf("sim: link mailbox %d->%d is a self-loop; use Engine.At for local events", src, dst))
+	}
+	if minLatency < c.lookahead {
+		panic(fmt.Sprintf("sim: link latency %v below cluster lookahead %v", minLatency, c.lookahead))
+	}
+	b := &Mailbox{
+		dst:    c.engines[dst],
+		dstIdx: int32(dst),
+		src:    int32(src),
+		srcEng: c.engines[src],
+		lat:    minLatency,
+	}
+	if c.chk != nil {
+		b.la = c.chk.Lookahead(fmt.Sprintf("sim.cluster.link%d-%d", src, dst))
+	}
 	c.boxes = append(c.boxes, b)
 	return b
 }
 
 // Post schedules fn on the destination engine at absolute time at. The
-// message is held until the next window barrier; the conservative window
-// guarantees at lands at or after that barrier.
+// message is held until the next round boundary; the conservative horizon
+// guarantees at lands at or after the destination's clock.
 func (b *Mailbox) Post(at units.Time, fn Handler) {
 	if fn == nil {
 		panic("sim: posting nil handler")
@@ -119,7 +269,7 @@ func (b *Mailbox) Post(at units.Time, fn Handler) {
 }
 
 // sortMail orders messages by (time, sender seq) — insertion sort, since a
-// window's worth of deliveries on one link is small and this keeps the drain
+// round's worth of deliveries on one link is small and this keeps the drain
 // path allocation-free.
 func sortMail(ms []mail) {
 	for i := 1; i < len(ms); i++ {
@@ -133,18 +283,36 @@ func sortMail(ms []mail) {
 	}
 }
 
-// drain moves every held message into its destination engine's calendar.
-// Runs single-threaded at a barrier: mailbox registration order, then
-// (time, seq) within a mailbox, so delivery order is deterministic.
+// drain moves every held message into its destination engine's calendar and
+// rolls each attributed mailbox's posting window forward to its source's
+// clock. Runs single-threaded at a round boundary: mailbox registration
+// order, then (time, seq) within a mailbox, so delivery order is
+// deterministic. The backing arrays are retained across drains, so a
+// steady-state drain allocates nothing.
 func (c *Cluster) drain() {
 	for _, b := range c.boxes {
 		b.mu.Lock()
 		ms := b.in
 		b.in = b.in[:0]
 		b.mu.Unlock()
+		attributed := b.src >= 0
+		var start units.Time
+		if attributed {
+			// Everything in ms was posted while src ran from winStart; the
+			// next batch is posted from src's current clock onward.
+			start = b.winStart
+			b.winStart = b.srcEng.Now()
+		}
+		if len(ms) == 0 {
+			continue
+		}
 		sortMail(ms)
 		for _, m := range ms {
-			c.la.Observe(c.barrier, m.at)
+			if attributed {
+				b.la.ObserveLink(start, b.lat, m.at)
+			} else {
+				c.la.Observe(c.barrier, m.at)
+			}
 			at := m.at
 			if at < b.dst.Now() {
 				// Lookahead violated (already recorded): clamp so the run
@@ -153,25 +321,156 @@ func (c *Cluster) drain() {
 			}
 			b.dst.At(at, m.fn)
 		}
-	}
-}
-
-// minNext returns the earliest pending event time across all engines, or
-// false when every calendar is empty.
-func (c *Cluster) minNext() (units.Time, bool) {
-	var min units.Time
-	any := false
-	for _, e := range c.engines {
-		if at, ok := e.NextAt(); ok && (!any || at < min) {
-			min, any = at, true
+		c.markDirty(b.dstIdx)
+		// Zero the drained slots so the retained array doesn't pin handler
+		// closures until the next time the box fills this far.
+		for i := range ms {
+			ms[i].fn = nil
 		}
 	}
-	return min, any
 }
 
-// horizon returns the furthest engine clock — the final barrier deadline.
-// Note this is the end of the last conservative window, not the timestamp of
-// the last event; models record completion times inside handlers.
+// prepare sizes the per-round scratch state, rebuilds the link topology if
+// mailboxes were registered since the last Run, and marks every base stale.
+func (c *Cluster) prepare() {
+	n := len(c.engines)
+	if c.base == nil {
+		c.base = make([]units.Time, n)
+		c.bound = make([]units.Time, n)
+		c.horizons = make([]units.Time, n)
+		c.prevNow = make([]units.Time, n)
+		c.dirty = make([]bool, n)
+		c.dirtyIdx = make([]int32, 0, n)
+		c.runnable = make([]int32, 0, n)
+		c.baseTree = newMinTree(n)
+		c.in = make([][]edge, n)
+		c.out = make([][]edge, n)
+		c.openInbox = make([]bool, n)
+	}
+	if c.builtBoxes != len(c.boxes) {
+		for i := 0; i < n; i++ {
+			c.in[i] = c.in[i][:0]
+			c.out[i] = c.out[i][:0]
+			c.openInbox[i] = false
+		}
+		for _, b := range c.boxes {
+			if b.src < 0 {
+				c.openInbox[b.dstIdx] = true
+				continue
+			}
+			c.in[b.dstIdx] = append(c.in[b.dstIdx], edge{peer: b.src, lat: b.lat})
+			c.out[b.src] = append(c.out[b.src], edge{peer: b.dstIdx, lat: b.lat})
+		}
+		c.builtBoxes = len(c.boxes)
+	}
+	for i := 0; i < n; i++ {
+		c.markDirty(int32(i))
+	}
+}
+
+// markDirty queues engine i for a base refresh at the next round.
+func (c *Cluster) markDirty(i int32) {
+	if !c.dirty[i] {
+		c.dirty[i] = true
+		c.dirtyIdx = append(c.dirtyIdx, i)
+	}
+}
+
+// refreshBase re-reads NextAt for every engine that ran or received mail
+// since the last round and pushes the new values through the min tree — the
+// batched earliest-event reduction: engines that didn't move cost nothing.
+func (c *Cluster) refreshBase() {
+	for _, i := range c.dirtyIdx {
+		c.dirty[i] = false
+		at, ok := c.engines[i].NextAt()
+		if !ok {
+			at = never
+		}
+		c.base[i] = at
+		c.baseTree.update(int(i), at)
+	}
+	c.dirtyIdx = c.dirtyIdx[:0]
+}
+
+// computeWindows derives this round's per-engine bounds B, horizons H, and
+// the runnable set, given the globally earliest pending event baseMin.
+//
+// The bound pass is a multi-source Dijkstra: seed every engine with
+// min(base, open-inbox floor) and relax through outbound links, so B_j ends
+// at the earliest time any pending event anywhere can influence j. The
+// horizon pass then takes, per engine, the minimum over inbound links of
+// B_source + latency (floored by the open-inbox window), which is the first
+// instant a not-yet-posted message could demand delivery.
+func (c *Cluster) computeWindows(baseMin units.Time) {
+	n := len(c.engines)
+	open := baseMin + c.lookahead // unattributed floor; also this round's legacy barrier
+	c.heap.reset()
+	for i := 0; i < n; i++ {
+		b := c.base[i]
+		if c.openInbox[i] && open < b {
+			b = open
+		}
+		c.bound[i] = b
+		if b != never {
+			c.heap.push(djItem{t: b, eng: int32(i)})
+		}
+	}
+	for c.heap.len() > 0 {
+		it := c.heap.pop()
+		if it.t > c.bound[it.eng] {
+			continue // stale entry superseded by a tighter bound
+		}
+		for _, e := range c.out[it.eng] {
+			if nb := it.t + e.lat; nb < c.bound[e.peer] {
+				c.bound[e.peer] = nb
+				c.heap.push(djItem{t: nb, eng: e.peer})
+			}
+		}
+	}
+	c.runnable = c.runnable[:0]
+	for i := 0; i < n; i++ {
+		h := never
+		for _, e := range c.in[i] {
+			if b := c.bound[e.peer]; b != never && b+e.lat < h {
+				h = b + e.lat
+			}
+		}
+		if c.openInbox[i] && open < h {
+			h = open
+		}
+		c.horizons[i] = h
+		if c.base[i] < h {
+			c.runnable = append(c.runnable, int32(i))
+			c.prevNow[i] = c.engines[i].Now()
+		}
+	}
+	c.barrier = open
+}
+
+// runEngine advances one runnable engine to its horizon — or, when no
+// inbound link can ever reach it (horizon = never), to quiescence.
+func (c *Cluster) runEngine(i int) {
+	if h := c.horizons[i]; h == never {
+		c.engines[i].Run()
+	} else {
+		c.engines[i].RunBefore(h)
+	}
+}
+
+// accountRound records windowing statistics and marks every engine that ran
+// as base-stale.
+func (c *Cluster) accountRound() {
+	c.stats.Windows++
+	c.stats.EngineWindows += uint64(len(c.runnable))
+	for _, i := range c.runnable {
+		c.markDirty(i)
+		c.stats.Advance += c.engines[i].Now() - c.prevNow[i]
+	}
+}
+
+// horizon returns the furthest engine clock — the end of the last window the
+// furthest engine executed. Models record completion times inside handlers;
+// this value only bounds them.
 func (c *Cluster) horizon() units.Time {
 	var h units.Time
 	for _, e := range c.engines {
@@ -183,67 +482,256 @@ func (c *Cluster) horizon() units.Time {
 }
 
 // Run advances every engine to quiescence — no pending events, no held
-// messages — using up to workers goroutines per window, and returns the
-// final window deadline. workers <= 1 runs every window inline on the
-// calling goroutine; either way the event order, and therefore the result,
-// is identical: worker count only changes which goroutine drives an engine,
-// never what the engine observes.
+// messages — using up to workers goroutines per round, and returns the
+// furthest engine clock. workers <= 1 runs every round inline on the calling
+// goroutine; either way the event order, and therefore the result, is
+// identical: worker count only changes which goroutine drives an engine,
+// never what the engine observes. Each round the effective parallelism is
+// clamped to min(runnable engines, GOMAXPROCS), so idle workers stay parked
+// instead of spinning on the round barrier and over-provisioned pools cost
+// the same as right-sized ones.
 func (c *Cluster) Run(workers int) units.Time {
 	n := len(c.engines)
 	if workers > n {
 		workers = n
 	}
-	if workers <= 1 {
-		for {
-			c.drain()
-			min, ok := c.minNext()
-			if !ok {
-				return c.horizon()
-			}
-			d := min + c.lookahead
-			for _, e := range c.engines {
-				e.RunBefore(d)
-			}
-			c.barrier = d
-		}
+	c.prepare()
+	parallel := workers > 1
+	if parallel {
+		c.startWorkers(workers)
+		defer c.stopWorkers()
 	}
-
-	// Persistent worker pool: worker w owns the static engine stride
-	// w, w+workers, w+2·workers, … for the whole run, so an engine is only
-	// ever driven by one goroutine. Each round broadcasts the window
-	// deadline; the WaitGroup barrier orders every in-window Mailbox.Post
-	// before the coordinator's drain.
-	var wg sync.WaitGroup
-	rounds := make([]chan units.Time, workers)
-	for w := range rounds {
-		rounds[w] = make(chan units.Time, 1)
-		go func(w int) {
-			for d := range rounds[w] {
-				for i := w; i < n; i += workers {
-					c.engines[i].RunBefore(d)
-				}
-				wg.Done()
-			}
-		}(w)
-	}
-	defer func() {
-		for _, ch := range rounds {
-			close(ch)
-		}
-	}()
-
 	for {
 		c.drain()
-		min, ok := c.minNext()
-		if !ok {
+		c.refreshBase()
+		baseMin := c.baseTree.root()
+		if baseMin == never {
 			return c.horizon()
 		}
-		d := min + c.lookahead
-		wg.Add(workers)
-		for _, ch := range rounds {
-			ch <- d
+		c.computeWindows(baseMin)
+		if len(c.runnable) == 0 {
+			// Unreachable: the engine holding baseMin always has a horizon
+			// strictly beyond it (positive link latencies). Guard anyway so a
+			// future invariant break fails loudly instead of spinning.
+			panic("sim: cluster stalled with pending events")
 		}
-		wg.Wait()
-		c.barrier = d
+		if !parallel || len(c.runnable) == 1 {
+			for _, i := range c.runnable {
+				c.runEngine(int(i))
+			}
+		} else {
+			c.dispatch()
+		}
+		c.accountRound()
 	}
+}
+
+// startWorkers launches the persistent worker pool and blocks until every
+// worker is parked, establishing the all-parked precondition dispatch relies
+// on.
+func (c *Cluster) startWorkers(workers int) {
+	if c.parCond == nil {
+		c.parCond = sync.NewCond(&c.parMu)
+		c.idleCond = sync.NewCond(&c.parMu)
+	}
+	c.nworkers = workers
+	c.stopping = false
+	c.parked = 0
+	c.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go c.workerLoop()
+	}
+	c.parMu.Lock()
+	for c.parked != c.nworkers {
+		c.idleCond.Wait()
+	}
+	c.parMu.Unlock()
+}
+
+// stopWorkers wakes every parked worker into the exit path and joins them.
+func (c *Cluster) stopWorkers() {
+	c.parMu.Lock()
+	c.stopping = true
+	c.parCond.Broadcast()
+	c.parMu.Unlock()
+	c.wg.Wait()
+}
+
+// workerLoop is one pool worker: park on parCond until the coordinator
+// publishes a new round, claim runnable engines off the shared counter, and
+// park again. A worker never touches an engine outside a claimed slot, and
+// the coordinator never touches scratch state until every woken worker has
+// re-entered Wait, so the only shared mutable state on the hot path is the
+// two atomics.
+func (c *Cluster) workerLoop() {
+	defer c.wg.Done()
+	c.parMu.Lock()
+	c.parked++
+	if c.parked == c.nworkers {
+		c.idleCond.Signal()
+	}
+	seen := c.round
+	for {
+		for c.round == seen && !c.stopping {
+			c.parCond.Wait()
+		}
+		if c.stopping {
+			c.parMu.Unlock()
+			return
+		}
+		seen = c.round
+		c.parMu.Unlock()
+
+		nr := int64(len(c.runnable))
+		for {
+			slot := c.claim.Add(1) - 1
+			if slot >= nr {
+				break
+			}
+			c.runEngine(int(c.runnable[slot]))
+			c.left.Add(-1)
+		}
+
+		// Holding parMu from here until parCond.Wait releases it guarantees
+		// the coordinator cannot observe this round's done count until this
+		// worker is parked again with a fresh wait ticket.
+		c.parMu.Lock()
+		c.done++
+		c.idleCond.Signal()
+	}
+}
+
+// dispatch publishes the current runnable set to the pool, waking only as
+// many workers as can do useful work — min(runnable, pool size, GOMAXPROCS);
+// a wake beyond the processor count can never run concurrently, and the
+// claim counter lets any awake worker drain every remaining slot — and waits
+// until every woken worker has finished the round and re-parked. The
+// completion predicate counts round completions (done) against the number of
+// workers actually woken — not the parked count, which would be satisfied
+// while a signaled worker is still on its way out of Wait and about to read
+// the runnable set the coordinator is ready to overwrite.
+func (c *Cluster) dispatch() {
+	nr := len(c.runnable)
+	c.claim.Store(0)
+	c.left.Store(int64(nr))
+	wake := nr
+	if wake > c.nworkers {
+		wake = c.nworkers
+	}
+	if p := runtime.GOMAXPROCS(0); wake > p {
+		wake = p
+	}
+	c.parMu.Lock()
+	c.done = 0
+	c.round++
+	if wake == c.nworkers {
+		c.parCond.Broadcast()
+	} else {
+		for i := 0; i < wake; i++ {
+			c.parCond.Signal()
+		}
+	}
+	for c.done != wake || c.left.Load() != 0 {
+		c.idleCond.Wait()
+	}
+	c.parMu.Unlock()
+}
+
+// minTree is a flat bottom-up segment tree over the per-engine base times:
+// update is O(log n) along one root path, the global minimum is O(1) at the
+// root. With only a few engines dirty per round this replaces the O(n) scan
+// the old coordinator paid at every window.
+type minTree struct {
+	n    int
+	node []units.Time // 1-based; node[1] is the root, leaves at node[size+i]
+	size int
+}
+
+func newMinTree(n int) minTree {
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	node := make([]units.Time, 2*size)
+	for i := range node {
+		node[i] = never
+	}
+	return minTree{n: n, node: node, size: size}
+}
+
+func (t *minTree) update(i int, v units.Time) {
+	p := t.size + i
+	if t.node[p] == v {
+		return
+	}
+	t.node[p] = v
+	for p >>= 1; p >= 1; p >>= 1 {
+		m := t.node[2*p]
+		if r := t.node[2*p+1]; r < m {
+			m = r
+		}
+		if t.node[p] == m {
+			break
+		}
+		t.node[p] = m
+	}
+}
+
+func (t *minTree) root() units.Time { return t.node[1] }
+
+// djItem is one Dijkstra worklist entry: a tentative bound for an engine.
+type djItem struct {
+	t   units.Time
+	eng int32
+}
+
+// djHeap is a value-based binary min-heap with lazy deletion; the backing
+// array is retained across rounds.
+type djHeap struct {
+	a []djItem
+}
+
+func (h *djHeap) reset()   { h.a = h.a[:0] }
+func (h *djHeap) len() int { return len(h.a) }
+
+func (h *djHeap) push(it djItem) {
+	a := append(h.a, it)
+	i := len(a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if a[p].t <= it.t {
+			break
+		}
+		a[i] = a[p]
+		i = p
+	}
+	a[i] = it
+	h.a = a
+}
+
+func (h *djHeap) pop() djItem {
+	a := h.a
+	top := a[0]
+	n := len(a) - 1
+	last := a[n]
+	if n > 0 {
+		i := 0
+		for {
+			c := 2*i + 1
+			if c >= n {
+				break
+			}
+			if c+1 < n && a[c+1].t < a[c].t {
+				c++
+			}
+			if a[c].t >= last.t {
+				break
+			}
+			a[i] = a[c]
+			i = c
+		}
+		a[i] = last
+	}
+	h.a = a[:n]
+	return top
 }

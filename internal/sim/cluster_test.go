@@ -297,3 +297,275 @@ func TestClusterWindowLoopAllocs(t *testing.T) {
 		t.Errorf("window loop allocates %.3f allocs/event (%.0f per run), want ~0", perEvent, allocs)
 	}
 }
+
+// ---------------------------------------------------------------------------
+// Dynamic per-device lookahead
+// ---------------------------------------------------------------------------
+
+// linkRing wires devs engines into a ring of attributed LinkMailboxes with
+// per-link latencies lat[d] (link d goes d -> (d+1)%devs), runs a token
+// workload where every hop uses its own link's latency, and returns the
+// merged log.
+func linkRing(workers int, lats []units.Time, lookahead units.Time, hops int) string {
+	devs := len(lats)
+	cl := NewCluster(devs, lookahead)
+	log := &ringLog{perDev: make([][]string, devs)}
+	boxes := make([]*Mailbox, devs)
+	for d := 0; d < devs; d++ {
+		boxes[d] = cl.LinkMailbox(d, (d+1)%devs, lats[d])
+	}
+	var arrive func(dev, hop int) Handler
+	arrive = func(dev, hop int) Handler {
+		eng := cl.Engine(dev)
+		return func() {
+			log.record(dev, eng.Now())
+			if hop >= hops {
+				return
+			}
+			// Local work, then a send at exactly this link's latency — the
+			// tightest delivery the per-link law admits.
+			eng.After(3, func() { log.record(dev, eng.Now()) })
+			boxes[dev].Post(eng.Now()+lats[dev], arrive((dev+1)%devs, hop+1))
+		}
+	}
+	cl.Engine(0).At(0, arrive(0, 0))
+	for d := 1; d < devs; d++ {
+		// Background local-only churn so engines have heterogeneous bases.
+		eng := cl.Engine(d)
+		var tick func()
+		n := 40 + 7*d
+		tick = func() {
+			log.record(d, eng.Now())
+			if n--; n > 0 {
+				eng.After(units.Time(5+d), tick)
+			}
+		}
+		eng.At(units.Time(d), tick)
+	}
+	cl.Run(workers)
+	return log.merged()
+}
+
+// TestClusterPerLinkHorizonsDeterministic drives a ring with strongly
+// heterogeneous link latencies — where per-device horizons differ sharply
+// from the global window — and requires the merged log to be identical at
+// every worker count.
+func TestClusterPerLinkHorizonsDeterministic(t *testing.T) {
+	lats := []units.Time{20, 500, 45, 1000, 20, 170}
+	want := linkRing(1, lats, 20, 120)
+	if want == "" {
+		t.Fatal("empty log from reference run")
+	}
+	for _, workers := range []int{2, 3, len(lats)} {
+		if got := linkRing(workers, lats, 20, 120); got != want {
+			t.Errorf("workers=%d: log diverged on heterogeneous-latency ring\n got: %s\nwant: %s",
+				workers, got, want)
+		}
+	}
+}
+
+// TestClusterPerDeviceHorizonRunsAhead pins the point of dynamic lookahead:
+// on a two-device topology where device 1's only inbound link is very slow,
+// device 1 must advance far past the legacy global window (earliest event +
+// cluster lookahead) in a single round. We detect that via the scheduler's
+// own statistics: the whole run must need only a handful of rounds, where
+// the global-window coordinator needed hundreds.
+func TestClusterPerDeviceHorizonRunsAhead(t *testing.T) {
+	const slowLat = units.Time(10000)
+	const lookahead = units.Time(10)
+	cl := NewCluster(2, lookahead)
+	box := cl.LinkMailbox(0, 1, slowLat)
+	// Device 1: a long chain of local events, 1 time unit apart.
+	eng1 := cl.Engine(1)
+	n := 5000
+	var tick Handler
+	tick = func() {
+		if n--; n > 0 {
+			eng1.After(1, tick)
+		}
+	}
+	eng1.At(0, tick)
+	// Device 0: periodic sends over the slow link.
+	eng0 := cl.Engine(0)
+	for i := 0; i < 5; i++ {
+		at := units.Time(i * 100)
+		eng0.At(at, func() { box.Post(eng0.Now()+slowLat, func() {}) })
+	}
+	cl.Run(1)
+	st := cl.Stats()
+	if st.Windows > 20 {
+		t.Errorf("per-device horizons took %d rounds; a global window would need ~500, dynamic lookahead should need <20", st.Windows)
+	}
+	if st.AvgWindowWidth() < lookahead {
+		t.Errorf("average window width %v below the global lookahead %v", st.AvgWindowWidth(), lookahead)
+	}
+}
+
+// TestClusterLinkLawViolationDetected proves the per-link law is
+// falsifiable: a model that posts a delivery closer than its link's
+// registered latency must be flagged on the link's own rule, because the
+// destination's horizon was computed trusting that latency.
+func TestClusterLinkLawViolationDetected(t *testing.T) {
+	chk := check.New()
+	cl := NewCluster(2, 10)
+	cl.AttachChecker(chk)
+	box := cl.LinkMailbox(0, 1, 10)
+	cl.Engine(1).At(0, func() {}) // pull engine 1 into the first round
+	cl.Engine(0).At(5, func() {
+		box.Post(6, func() {}) // lies about the link latency: 6 < 0 + 10? no — 6 < window start 0 + 10
+	})
+	cl.Run(2)
+	found := false
+	for _, v := range chk.Violations() {
+		if v.Rule == "ordering/link-lookahead" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("per-link lookahead violation not detected; violations: %v", chk.Violations())
+	}
+}
+
+// TestClusterLinkLawHonestModelClean is the property-test counterpart: a
+// seeded random workload that always posts at or above each link's latency
+// must produce zero violations and a worker-count-independent log, even with
+// per-link latencies far above the cluster lookahead.
+func TestClusterLinkLawHonestModelClean(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		run := func(workers int) (string, *check.Checker) {
+			const devs = 5
+			lats := []units.Time{20, 60, 20, 200, 35}
+			chk := check.New()
+			cl := NewCluster(devs, 20)
+			cl.AttachChecker(chk)
+			log := &ringLog{perDev: make([][]string, devs)}
+			boxes := make([]*Mailbox, devs)
+			for d := 0; d < devs; d++ {
+				boxes[d] = cl.LinkMailbox(d, (d+1)%devs, lats[d])
+			}
+			rng := rand.New(rand.NewSource(seed))
+			var burst func(dev, depth int) Handler
+			burst = func(dev, depth int) Handler {
+				eng := cl.Engine(dev)
+				return func() {
+					log.record(dev, eng.Now())
+					if depth <= 0 {
+						return
+					}
+					eng.After(units.Time(1+depth%5), func() { log.record(dev, eng.Now()) })
+					boxes[dev].Post(eng.Now()+lats[dev]+units.Time(depth%17), burst((dev+1)%devs, depth-1))
+				}
+			}
+			for d := 0; d < devs; d++ {
+				cl.Engine(d).At(units.Time(rng.Intn(30)), burst(d, 30))
+			}
+			cl.Run(workers)
+			return log.merged(), chk
+		}
+		want, chk := run(1)
+		if !chk.Ok() {
+			t.Fatalf("seed=%d: honest model flagged: %v", seed, chk.Violations())
+		}
+		for _, workers := range []int{2, 5} {
+			got, chk := run(workers)
+			if got != want {
+				t.Errorf("seed=%d workers=%d: log diverged", seed, workers)
+			}
+			if !chk.Ok() {
+				t.Errorf("seed=%d workers=%d: honest model flagged: %v", seed, workers, chk.Violations())
+			}
+		}
+	}
+}
+
+// TestClusterDrainAllocs pins the coordination layer's steady-state
+// allocation behaviour with live cross-engine mail: after warm-up, rounds of
+// drain + horizon computation + dispatch must not allocate — mailbox backing
+// arrays, the Dijkstra heap, the runnable set and the dirty list are all
+// reused.
+func TestClusterDrainAllocs(t *testing.T) {
+	const devs = 8
+	const hopsPerDev = 64
+	cl := NewCluster(devs, 10)
+	boxes := make([]*Mailbox, devs)
+	for d := 0; d < devs; d++ {
+		boxes[d] = cl.LinkMailbox(d, (d+1)%devs, 10)
+	}
+	// Handlers are preallocated once: each device forwards a fixed number of
+	// tokens, re-arming itself across runs via the counts array.
+	counts := make([]int, devs)
+	handlers := make([]Handler, devs)
+	for d := 0; d < devs; d++ {
+		d := d
+		eng := cl.Engine(d)
+		handlers[d] = func() {
+			if counts[d]--; counts[d] > 0 {
+				boxes[d].Post(eng.Now()+10, handlers[(d+1)%devs])
+			}
+		}
+	}
+	// Seeding at a common base time makes every run an exact time-translate
+	// of the previous one, so the steady state really is steady: identical
+	// window structure, identical high-water marks, zero growth.
+	seed := func() {
+		var t0 units.Time
+		for d := 0; d < devs; d++ {
+			if now := cl.Engine(d).Now(); now > t0 {
+				t0 = now
+			}
+		}
+		for d := 0; d < devs; d++ {
+			counts[d] = hopsPerDev
+			cl.Engine(d).At(t0+units.Time(d+1), handlers[d])
+		}
+	}
+	seed()
+	cl.Run(1) // warm-up: grow every backing array once
+	allocs := testing.AllocsPerRun(10, func() {
+		seed()
+		cl.Run(1)
+	})
+	if allocs > 0.5 {
+		t.Errorf("steady-state window loop allocates %.2f allocs/run, want 0", allocs)
+	}
+}
+
+// TestClusterPersistentWorkersStress hammers the condition-variable worker
+// pool: many engines, many rounds, sparse runnable sets (so the wake clamp
+// exercises partial signals), across repeated Runs reusing the pool state.
+// Under -race this is the synchronization stress for the persistent-worker
+// redesign; determinism rides along.
+func TestClusterPersistentWorkersStress(t *testing.T) {
+	const devs = 32
+	run := func(workers int) string {
+		cl := NewCluster(devs, 5)
+		log := &ringLog{perDev: make([][]string, devs)}
+		boxes := make([]*Mailbox, devs)
+		for d := 0; d < devs; d++ {
+			boxes[d] = cl.LinkMailbox(d, (d+3)%devs, units.Time(5+3*(d%4)))
+		}
+		var hop func(dev, n int) Handler
+		hop = func(dev, n int) Handler {
+			eng := cl.Engine(dev)
+			return func() {
+				log.record(dev, eng.Now())
+				if n <= 0 {
+					return
+				}
+				boxes[dev].Post(eng.Now()+units.Time(5+3*(dev%4)), hop((dev+3)%devs, n-1))
+			}
+		}
+		// Only a few devices are active at a time: runnable sets stay small.
+		for d := 0; d < devs; d += 11 {
+			cl.Engine(d).At(units.Time(d), hop(d, 300))
+		}
+		cl.Run(workers)
+		return log.merged()
+	}
+	want := run(1)
+	for _, workers := range []int{2, 7, 16, devs} {
+		if got := run(workers); got != want {
+			t.Errorf("workers=%d diverged under persistent-worker stress", workers)
+		}
+	}
+}

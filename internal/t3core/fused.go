@@ -96,6 +96,16 @@ type FusedOptions struct {
 	// (policySkip). Falls back to the sequential path when LinkLatency is
 	// zero, since a zero lookahead admits no conservative window.
 	ParWorkers int
+	// ClusterStats, if non-nil, receives the scheduler's windowing summary
+	// after an explicit multi-device run on the cluster path (ParWorkers > 0
+	// with a positive link latency): round count, engine-window executions,
+	// and total simulated time advanced, from which the benchmark harness
+	// derives the average window width — the lookahead-quality metric tracked
+	// across PRs. The sequential path zeroes it. The stats describe the
+	// coordination layer, not the model, and are deliberately not part of
+	// MultiDeviceResult: results stay byte-identical at every worker count,
+	// while window shapes are an implementation detail of the scheduler.
+	ClusterStats *sim.ClusterStats
 	// Check, if non-nil, is threaded through every model the same way
 	// Metrics is: the engine witnesses event-time monotonicity, the memory
 	// channels witness service non-overlap and queue-depth bounds, the ring

@@ -179,8 +179,14 @@ func RunFusedGEMMRSMultiDevice(o FusedOptions) (MultiDeviceResult, error) {
 	}
 	if parallel {
 		r.cl.Run(o.ParWorkers)
+		if o.ClusterStats != nil {
+			*o.ClusterStats = r.cl.Stats()
+		}
 	} else {
 		r.eng.Run()
+		if o.ClusterStats != nil {
+			*o.ClusterStats = sim.ClusterStats{}
+		}
 	}
 	stalled := 0
 	for _, md := range r.devs {

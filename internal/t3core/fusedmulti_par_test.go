@@ -12,6 +12,7 @@ import (
 	"t3sim/internal/interconnect"
 	"t3sim/internal/memory"
 	"t3sim/internal/metrics"
+	"t3sim/internal/sim"
 )
 
 // parOptions builds a multi-device configuration for the parallel-DES tests.
@@ -38,7 +39,7 @@ func parOptions(t *testing.T, m, n, k, devices int) FusedOptions {
 // the legacy shared-engine result exactly — every per-device completion
 // time, every DRAM counter, every link byte — at every worker count.
 func TestMultiDeviceParallelMatchesSequential(t *testing.T) {
-	for _, devices := range []int{2, 4, 8} {
+	for _, devices := range []int{2, 3, 4, 8} {
 		o := parOptions(t, 512, 512, 256, devices)
 		want, err := RunFusedGEMMRSMultiDevice(o)
 		if err != nil {
@@ -101,6 +102,48 @@ func TestPropertyParallelWorkersInvariant(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 6}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestMultiDevice64ParallelMatchesSequential extends the byte-identity proof
+// to the Fig-20 scale regime: 64 explicit devices, per-device horizons doing
+// real work (devices run far past the global window between ring phases),
+// and still every field of the result must DeepEqual the shared-engine
+// reference at every worker count. Skipped under -short: it simulates 64
+// devices five times over.
+func TestMultiDevice64ParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("64-device equivalence sweep is long; run without -short")
+	}
+	o := parOptions(t, 1024, 1024, 256, 64)
+	want, err := RunFusedGEMMRSMultiDevice(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		po := o
+		po.ParWorkers = workers
+		chk := check.New()
+		po.Check = chk
+		var st sim.ClusterStats
+		po.ClusterStats = &st
+		got, err := RunFusedGEMMRSMultiDevice(po)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: 64-device parallel result diverged from sequential", workers)
+		}
+		if !chk.Ok() {
+			t.Errorf("workers=%d: violations: %v", workers, chk.Violations())
+		}
+		if st.Windows == 0 || st.EngineWindows == 0 {
+			t.Errorf("workers=%d: cluster stats not populated: %+v", workers, st)
+		}
+		if st.AvgWindowWidth() < o.Link.LinkLatency {
+			t.Errorf("workers=%d: average window %v narrower than the link latency %v — dynamic lookahead is not engaging",
+				workers, st.AvgWindowWidth(), o.Link.LinkLatency)
+		}
 	}
 }
 

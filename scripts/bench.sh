@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # bench.sh — run the benchmark suite and the full experiment catalogue, and
-# emit a machine-readable snapshot (BENCH_5.json by default).
+# emit a machine-readable snapshot (BENCH_6.json by default).
 #
 # The root package's Benchmark* functions replay whole catalogue experiments,
 # so they run at ROOT_BENCHTIME (default 1x: one full iteration each). The
@@ -9,11 +9,23 @@
 # run at MICRO_BENCHTIME (default 1000x) so ns/op is meaningful; their
 # allocs/op figures are exact at any benchtime.
 #
-# The multi-device scaling section re-runs the explicit 8-device simulation
-# at ParWorkers 0 (sequential single engine) and 2/4/8 (conservative parallel
-# cluster) at SCALING_BENCHTIME (default 3x) and records the wall-clock
-# speedups; output is byte-identical at every worker count, so only the
-# timing moves.
+# The multi-device scaling sections re-run the explicit simulation at
+# ParWorkers 0 (sequential single engine) and 2/4/8 (conservative parallel
+# cluster with dynamic per-device lookahead): the 8-device shape at
+# SCALING_BENCHTIME (default 3x) and the 64-device Fig-20-regime shape at
+# SCALING64_BENCHTIME (default 1x), each repeated SCALING_COUNT (default 3)
+# times with the per-configuration MINIMUM reported — the least-noise
+# estimator on a shared 1-core container whose run-to-run variance can
+# exceed the worker-count deltas. The repetitions are interleaved — whole
+# seq/w2/w4/w8 cycles, not `go test -count` (which runs one configuration's
+# repeats back-to-back) — so a load spike on the host penalizes every
+# configuration's sample at that moment equally instead of whichever one
+# happened to be running. Output is byte-identical at every worker
+# count, so only the timing moves. The 64-device section also records the
+# scheduler's window_count and avg_window_width_ps — the lookahead-quality
+# metrics: fewer, wider windows mean the per-device horizons are doing their
+# job, independent of the host's core count (and exactly repeatable, unlike
+# the timings).
 #
 # Usage:
 #   scripts/bench.sh [output.json]
@@ -23,10 +35,12 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out=${1:-BENCH_5.json}
+out=${1:-BENCH_6.json}
 root_benchtime=${ROOT_BENCHTIME:-1x}
 micro_benchtime=${MICRO_BENCHTIME:-1000x}
 scaling_benchtime=${SCALING_BENCHTIME:-3x}
+scaling64_benchtime=${SCALING64_BENCHTIME:-1x}
+scaling_count=${SCALING_COUNT:-3}
 
 workdir=$(mktemp -d)
 trap 'rm -rf "$workdir"' EXIT
@@ -37,17 +51,49 @@ go test -run '^$' -bench . -benchtime "$root_benchtime" -benchmem . | tee "$raw"
 echo "== benchmarks: internal hot-path suites (-benchtime $micro_benchtime) =="
 go test -run '^$' -bench . -benchtime "$micro_benchtime" -benchmem ./internal/... | tee -a "$raw"
 
-echo "== multi-device scaling: explicit 8-device run, -par 0/2/4/8 (-benchtime $scaling_benchtime) =="
+echo "== multi-device scaling: explicit 8-device run, -par 0/2/4/8 (-benchtime $scaling_benchtime, best of $scaling_count interleaved) =="
 scaling_raw="$workdir/scaling.txt"
-go test -run '^$' -bench 'BenchmarkMultiDevice' -benchtime "$scaling_benchtime" . | tee "$scaling_raw"
-scaling_ns() {
-    awk -v bench="$1" '$1 ~ "^"bench"-?[0-9]*$" { print $3; exit }' "$scaling_raw"
+scaling_bin="$workdir/t3sim.test"
+go test -c -o "$scaling_bin" .
+: >"$scaling_raw"
+for _ in $(seq "$scaling_count"); do
+    "$scaling_bin" -test.run '^$' -test.bench 'BenchmarkMultiDevice(Sequential|Workers[0-9]+)$' \
+        -test.benchtime "$scaling_benchtime" | tee -a "$scaling_raw"
+done
+
+echo "== multi-device scaling: explicit 64-device run, -par 0/2/4/8 (-benchtime $scaling64_benchtime, best of $scaling_count interleaved) =="
+scaling64_raw="$workdir/scaling64.txt"
+: >"$scaling64_raw"
+for _ in $(seq "$scaling_count"); do
+    "$scaling_bin" -test.run '^$' -test.bench 'BenchmarkMultiDevice64' \
+        -test.benchtime "$scaling64_benchtime" | tee -a "$scaling64_raw"
+done
+
+# bench_col FILE BENCH UNIT: the minimum value reported just before UNIT
+# across BENCH's repeated rows (-count reruns).
+bench_col() {
+    awk -v bench="$2" -v unit="$3" '
+        $1 ~ "^"bench"-?[0-9]*$" {
+            for (i = 2; i <= NF; i++)
+                if ($(i) == unit && (best == "" || $(i - 1) + 0 < best + 0))
+                    best = $(i - 1)
+        }
+        END { if (best != "") print best }' "$1"
 }
-seq_ns=$(scaling_ns BenchmarkMultiDeviceSequential)
-w2_ns=$(scaling_ns BenchmarkMultiDeviceWorkers2)
-w4_ns=$(scaling_ns BenchmarkMultiDeviceWorkers4)
-w8_ns=$(scaling_ns BenchmarkMultiDeviceWorkers8)
-echo "multi-device scaling ns/op: seq=$seq_ns w2=$w2_ns w4=$w4_ns w8=$w8_ns"
+seq_ns=$(bench_col "$scaling_raw" BenchmarkMultiDeviceSequential ns/op)
+w2_ns=$(bench_col "$scaling_raw" BenchmarkMultiDeviceWorkers2 ns/op)
+w4_ns=$(bench_col "$scaling_raw" BenchmarkMultiDeviceWorkers4 ns/op)
+w8_ns=$(bench_col "$scaling_raw" BenchmarkMultiDeviceWorkers8 ns/op)
+echo "8-device scaling ns/op: seq=$seq_ns w2=$w2_ns w4=$w4_ns w8=$w8_ns"
+
+seq64_ns=$(bench_col "$scaling64_raw" BenchmarkMultiDevice64Sequential ns/op)
+w2_64_ns=$(bench_col "$scaling64_raw" BenchmarkMultiDevice64Workers2 ns/op)
+w4_64_ns=$(bench_col "$scaling64_raw" BenchmarkMultiDevice64Workers4 ns/op)
+w8_64_ns=$(bench_col "$scaling64_raw" BenchmarkMultiDevice64Workers8 ns/op)
+win_count=$(bench_col "$scaling64_raw" BenchmarkMultiDevice64Workers8 windows/op)
+win_width=$(bench_col "$scaling64_raw" BenchmarkMultiDevice64Workers8 window-ps/op)
+echo "64-device scaling ns/op: seq=$seq64_ns w2=$w2_64_ns w4=$w4_64_ns w8=$w8_64_ns" \
+     "(windows=$win_count avg_width=${win_width}ps)"
 
 echo "== experiment catalogue: -exp all -j 1 wall time =="
 go build -o "$workdir/t3sim" ./cmd/t3sim
@@ -63,8 +109,13 @@ awk -v go_version="$go_version" \
     -v root_benchtime="$root_benchtime" \
     -v micro_benchtime="$micro_benchtime" \
     -v scaling_benchtime="$scaling_benchtime" \
+    -v scaling64_benchtime="$scaling64_benchtime" \
+    -v scaling_count="$scaling_count" \
     -v exp_all_seconds="$exp_all_seconds" \
-    -v seq_ns="$seq_ns" -v w2_ns="$w2_ns" -v w4_ns="$w4_ns" -v w8_ns="$w8_ns" '
+    -v seq_ns="$seq_ns" -v w2_ns="$w2_ns" -v w4_ns="$w4_ns" -v w8_ns="$w8_ns" \
+    -v seq64_ns="$seq64_ns" -v w2_64_ns="$w2_64_ns" \
+    -v w4_64_ns="$w4_64_ns" -v w8_64_ns="$w8_64_ns" \
+    -v win_count="$win_count" -v win_width="$win_width" '
 /^pkg:/ { pkg = $2 }
 /^Benchmark/ {
     name = $1
@@ -89,6 +140,7 @@ END {
     printf "  \"exp_all_j1_seconds\": %s,\n", exp_all_seconds
     printf "  \"multi_device_scaling\": {\n"
     printf "    \"benchtime\": \"%s\",\n", scaling_benchtime
+    printf "    \"best_of\": %s,\n", scaling_count
     printf "    \"devices\": 8,\n"
     printf "    \"sequential_ns_per_op\": %s,\n", seq_ns
     printf "    \"workers2_ns_per_op\": %s,\n", w2_ns
@@ -97,6 +149,20 @@ END {
     printf "    \"speedup_workers2\": %.3f,\n", seq_ns / w2_ns
     printf "    \"speedup_workers4\": %.3f,\n", seq_ns / w4_ns
     printf "    \"speedup_workers8\": %.3f\n", seq_ns / w8_ns
+    printf "  },\n"
+    printf "  \"multi_device_scaling_64\": {\n"
+    printf "    \"benchtime\": \"%s\",\n", scaling64_benchtime
+    printf "    \"best_of\": %s,\n", scaling_count
+    printf "    \"devices\": 64,\n"
+    printf "    \"sequential_ns_per_op\": %s,\n", seq64_ns
+    printf "    \"workers2_ns_per_op\": %s,\n", w2_64_ns
+    printf "    \"workers4_ns_per_op\": %s,\n", w4_64_ns
+    printf "    \"workers8_ns_per_op\": %s,\n", w8_64_ns
+    printf "    \"speedup_workers2\": %.3f,\n", seq64_ns / w2_64_ns
+    printf "    \"speedup_workers4\": %.3f,\n", seq64_ns / w4_64_ns
+    printf "    \"speedup_workers8\": %.3f,\n", seq64_ns / w8_64_ns
+    printf "    \"window_count\": %s,\n", win_count == "" ? "null" : win_count
+    printf "    \"avg_window_width_ps\": %s\n", win_width == "" ? "null" : win_width
     printf "  },\n"
     printf "  \"benchmarks\": [\n"
     for (i = 1; i <= n; i++) printf "%s%s\n", rows[i], i < n ? "," : ""

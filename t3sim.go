@@ -47,6 +47,7 @@ import (
 	"t3sim/internal/interconnect"
 	"t3sim/internal/memory"
 	"t3sim/internal/metrics"
+	"t3sim/internal/sim"
 	"t3sim/internal/t3core"
 	"t3sim/internal/transformer"
 	"t3sim/internal/units"
@@ -299,6 +300,13 @@ func RunFusedGEMMAllToAll(o FusedOptions) (FusedResult, error) {
 
 // MultiDeviceResult reports an explicit N-device fused run.
 type MultiDeviceResult = t3core.MultiDeviceResult
+
+// ClusterStats summarizes the parallel scheduler's windowing behaviour for
+// one explicit multi-device run: coordinator rounds, per-engine window
+// executions, and total simulated time advanced (AvgWindowWidth derives the
+// mean advance per window). Request it by pointing FusedOptions.ClusterStats
+// at a value before RunFusedGEMMRSMultiDevice with ParWorkers > 0.
+type ClusterStats = sim.ClusterStats
 
 // RunFusedGEMMRSMultiDevice executes the fused GEMM→reduce-scatter with
 // every device simulated explicitly (no mirroring); it validates the
