@@ -8,6 +8,10 @@
 //	t3sim -exp fig16 -json    # machine-readable rows (times in picoseconds)
 //	t3sim -list               # available experiments
 //
+// The serving experiments (serve-sweep, serve-tenants) accept workload
+// overrides: -qps 4,8,12 replaces the offered-load ladder and -slo 250ms the
+// p99 TTFT objective. Defaults reproduce the golden snapshots.
+//
 // Observability (see internal/metrics): -timeline out.json records every
 // simulation's spans and instants as a Chrome trace-event file loadable at
 // https://ui.perfetto.dev, and -metrics out.json dumps the final counter and
@@ -38,6 +42,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -58,6 +63,23 @@ func writeExport(path string, write func(io.Writer) error) error {
 		return err
 	}
 	return f.Close()
+}
+
+// parseQPS parses the -qps flag: a comma-separated list of positive
+// offered-load points (requests per second).
+func parseQPS(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, err
+		}
+		if v <= 0 {
+			return nil, fmt.Errorf("QPS %g: must be positive", v)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 // outcome is one experiment's fully rendered output, produced on a worker
@@ -106,6 +128,12 @@ func main() {
 		"write a Perfetto-loadable trace-event timeline of the run to this JSON file")
 	metricsOut := flag.String("metrics", "",
 		"write every simulation's final counters and gauges to this JSON file")
+	qps := flag.String("qps", "",
+		"comma-separated offered-load ladder for the serving experiments "+
+			"(requests/s); empty keeps the built-in sweep")
+	slo := flag.Duration("slo", 0,
+		"p99 TTFT service-level objective for the serving experiments "+
+			"(e.g. 250ms); 0 keeps the built-in default")
 	flag.Parse()
 
 	catalogue := t3sim.ExperimentCatalogue()
@@ -197,6 +225,21 @@ func main() {
 	}
 
 	setup := t3sim.DefaultExperimentSetup()
+	if *qps != "" {
+		ladder, err := parseQPS(*qps)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "t3sim: -qps: %v\n", err)
+			exitCode = 2
+			return
+		}
+		setup.ServeQPS = ladder
+	}
+	if *slo < 0 {
+		fmt.Fprintf(os.Stderr, "t3sim: -slo %v: must be non-negative\n", *slo)
+		exitCode = 2
+		return
+	}
+	setup.ServeSLO = t3sim.Time(slo.Nanoseconds()) * t3sim.Nanosecond
 	if reg != nil {
 		setup.Metrics = reg
 	}

@@ -11,6 +11,15 @@
 // gemm_us, collective_done_us, done_us, speedup_vs_sequential, dram_mib,
 // link_mib, tracker_high_water.
 //
+// -serve switches to the serving capacity sweep (internal/serving): one CSV
+// row per (scheme, offered QPS) operating point with TTFT/TPOT percentiles,
+// T3 overlap off vs on, plus a `#` summary line with each scheme's max QPS
+// under the p99 TTFT SLO. -qps overrides the offered-load ladder and -slo
+// the objective:
+//
+//	t3sweep -serve
+//	t3sweep -serve -qps 4,8,12,16 -slo 250ms
+//
 // -j fans the cross-product out over concurrent simulations. Rows always
 // print in sweep order (cus-major, then links, then devices) and every
 // configuration owns a private simulation engine, so the CSV is
@@ -35,6 +44,7 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"t3sim"
 )
@@ -57,7 +67,14 @@ func run() (code int) {
 		arb   = flag.String("arb", "mca", "arbitration: rr | mca | cf")
 		coll  = flag.String("collective", "rs", "collective: rs | direct | ag | a2a | multi (explicit N-device rs)")
 		hdr   = flag.Bool("header", true, "print the CSV header")
-		jobs  = flag.Int("j", runtime.GOMAXPROCS(0),
+		serve = flag.Bool("serve", false,
+			"run the serving capacity sweep instead of a GEMM sweep: one CSV row per "+
+				"(scheme, offered QPS) operating point, T3 overlap off vs on")
+		qps = flag.String("qps", "",
+			"comma-separated offered-load ladder for -serve (requests/s); empty keeps the built-in sweep")
+		slo = flag.Duration("slo", 0,
+			"p99 TTFT service-level objective for -serve (e.g. 250ms); 0 keeps the built-in default")
+		jobs = flag.Int("j", runtime.GOMAXPROCS(0),
 			"max concurrent simulations; output order is identical at any -j")
 		par = flag.Int("par", 0,
 			"worker goroutines per explicit multi-device simulation (-collective multi); "+
@@ -145,6 +162,10 @@ func run() (code int) {
 		checker = t3sim.NewChecker()
 	}
 
+	if *serve {
+		return runServe(*qps, *slo, *jobs, *hdr, reg, checker, *timeline, *metricsOut)
+	}
+
 	// The sweep cross-product, in output order.
 	type config struct {
 		devices int
@@ -212,6 +233,81 @@ func run() (code int) {
 			return fail(fmt.Errorf("-timeline: %w", err))
 		}
 		if err := writeExport(*metricsOut, reg.WriteMetrics); err != nil {
+			return fail(fmt.Errorf("-metrics: %w", err))
+		}
+	}
+	if checker != nil {
+		if vs := checker.Violations(); len(vs) > 0 {
+			for _, v := range vs {
+				fmt.Fprintf(os.Stderr, "t3sweep: -check: %s\n", v)
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+// runServe runs the serving capacity sweep (-serve) and prints one CSV row
+// per (scheme, offered QPS) operating point, followed by `#`-prefixed summary
+// lines reporting each scheme's max QPS under the p99 TTFT SLO. Rows print in
+// sweep order and every simulation is deterministic, so the output is
+// byte-identical at any -j/-par.
+func runServe(qpsFlag string, slo time.Duration, jobs int, hdr bool,
+	reg *t3sim.MetricsRegistry, checker *t3sim.Checker, timeline, metricsOut string) int {
+	setup := t3sim.DefaultExperimentSetup()
+	if qpsFlag != "" {
+		ladder, err := parseFloats(qpsFlag)
+		if err != nil {
+			return fail(fmt.Errorf("bad -qps: %w", err))
+		}
+		for _, v := range ladder {
+			if v <= 0 {
+				return fail(fmt.Errorf("bad -qps: QPS %g: must be positive", v))
+			}
+		}
+		setup.ServeQPS = ladder
+	}
+	if slo < 0 {
+		return fail(fmt.Errorf("-slo %v: must be non-negative", slo))
+	}
+	setup.ServeSLO = t3sim.Time(slo.Nanoseconds()) * t3sim.Nanosecond
+	if reg != nil {
+		setup.Metrics = reg
+	}
+	setup.Check = checker
+
+	runner := t3sim.NewExperimentRunner(setup, jobs)
+	ev, err := runner.Evaluator()
+	if err != nil {
+		return fail(err)
+	}
+	res, err := t3sim.ServeSweep(ev)
+	if err != nil {
+		return fail(err)
+	}
+
+	if hdr {
+		fmt.Println("scheme,qps,tput_per_s,ttft_p50_us,ttft_p99_us,tpot_p50_us,tpot_p99_us,e2e_p99_us,slo_met")
+	}
+	for _, row := range res.Rows {
+		met := 0
+		if row.SLOMet {
+			met = 1
+		}
+		fmt.Printf("%s,%g,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%d\n",
+			row.Scheme, row.QPS, row.Throughput,
+			row.TTFTp50.Micros(), row.TTFTp99.Micros(),
+			row.TPOTp50.Micros(), row.TPOTp99.Micros(),
+			row.E2Ep99.Micros(), met)
+	}
+	fmt.Printf("# max QPS under p99 TTFT SLO %v: baseline %g, T3-MCA %g\n",
+		res.SLO, res.BaselineCapacity, res.T3Capacity)
+
+	if reg != nil {
+		if err := writeExport(timeline, reg.WriteTrace); err != nil {
+			return fail(fmt.Errorf("-timeline: %w", err))
+		}
+		if err := writeExport(metricsOut, reg.WriteMetrics); err != nil {
 			return fail(fmt.Errorf("-metrics: %w", err))
 		}
 	}

@@ -1,0 +1,91 @@
+package check
+
+import "t3sim/internal/units"
+
+// Requests verifies the serving simulator's request-conservation law: every
+// request that arrives is, at close, accounted for exactly once — completed,
+// still waiting in the admission queue, or still active in the decode batch.
+// Completions never outrun arrivals. A nil *Requests discards updates.
+type Requests struct {
+	c        *Checker
+	path     string
+	arrived  int64
+	finished int64
+}
+
+// Requests returns a handle for the model path (nil on a nil checker).
+func (c *Checker) Requests(path string) *Requests {
+	if c == nil {
+		return nil
+	}
+	return &Requests{c: c, path: path}
+}
+
+// Arrive records one request entering the system.
+func (rq *Requests) Arrive() {
+	if rq == nil {
+		return
+	}
+	rq.arrived++
+}
+
+// Complete records one request finishing at sim-time at; finishing more
+// requests than arrived is a violation.
+func (rq *Requests) Complete(at units.Time) {
+	if rq == nil {
+		return
+	}
+	rq.finished++
+	if rq.finished > rq.arrived {
+		rq.c.Violationf(at, rq.path, RuleConservation+"/over-completion",
+			"completed %d of %d arrived", rq.finished, rq.arrived)
+	}
+}
+
+// Close asserts the books balance at end of run: arrivals equal completions
+// plus the requests still waiting in the queue plus those still in the batch.
+func (rq *Requests) Close(at units.Time, waiting, active int64) {
+	if rq == nil {
+		return
+	}
+	if rq.arrived != rq.finished+waiting+active {
+		rq.c.Violationf(at, rq.path, RuleConservation+"/request-balance",
+			"%d arrived but %d completed + %d waiting + %d active",
+			rq.arrived, rq.finished, waiting, active)
+	}
+}
+
+// Milestones verifies per-request milestone monotonicity: a request's
+// lifecycle timestamps must satisfy arrive ≤ prefill-start ≤ first-token ≤
+// done. A nil *Milestones discards observations.
+type Milestones struct {
+	c    *Checker
+	path string
+}
+
+// Milestones returns a handle for the model path (nil on a nil checker).
+func (c *Checker) Milestones(path string) *Milestones {
+	if c == nil {
+		return nil
+	}
+	return &Milestones{c: c, path: path}
+}
+
+// Observe checks one completed request's lifecycle. id labels the request in
+// the violation message.
+func (ms *Milestones) Observe(id int, arrive, prefillStart, firstToken, done units.Time) {
+	if ms == nil {
+		return
+	}
+	switch {
+	case prefillStart < arrive:
+		ms.c.Violationf(done, ms.path, RuleOrdering+"/milestones",
+			"request %d: prefill start %v before arrival %v", id, prefillStart, arrive)
+	case firstToken < prefillStart:
+		ms.c.Violationf(done, ms.path, RuleOrdering+"/milestones",
+			"request %d: first token %v before prefill start %v", id, firstToken, prefillStart)
+	case done < firstToken:
+		ms.c.Violationf(done, ms.path, RuleOrdering+"/milestones",
+			"request %d: done %v before first token %v", id, done, firstToken)
+	}
+}

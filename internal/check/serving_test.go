@@ -1,0 +1,104 @@
+package check
+
+import (
+	"testing"
+)
+
+func TestRequestsConservation(t *testing.T) {
+	c := New()
+	rq := c.Requests("serving")
+	for i := 0; i < 5; i++ {
+		rq.Arrive()
+	}
+	rq.Complete(10)
+	rq.Complete(20)
+	rq.Close(30, 2, 1) // 5 arrived = 2 completed + 2 waiting + 1 active
+	if !c.Ok() {
+		t.Fatalf("balanced request books flagged: %v", c.Violations())
+	}
+
+	// Falsifiability 1: completing a request that never arrived.
+	c2 := New()
+	rq2 := c2.Requests("serving")
+	rq2.Arrive()
+	rq2.Complete(1)
+	rq2.Complete(2) // second completion of a single arrival
+	vs := c2.Violations()
+	if len(vs) != 1 || vs[0].Rule != "conservation/over-completion" || vs[0].At != 2 {
+		t.Fatalf("violations = %v, want one conservation/over-completion at t=2", vs)
+	}
+
+	// Falsifiability 2: a request lost in flight (arrived, never accounted).
+	c3 := New()
+	rq3 := c3.Requests("serving")
+	rq3.Arrive()
+	rq3.Arrive()
+	rq3.Complete(5)
+	rq3.Close(9, 0, 0) // one request vanished
+	vs = c3.Violations()
+	if len(vs) != 1 || vs[0].Rule != "conservation/request-balance" {
+		t.Fatalf("violations = %v, want one conservation/request-balance", vs)
+	}
+}
+
+func TestMilestonesOrdering(t *testing.T) {
+	c := New()
+	ms := c.Milestones("serving")
+	ms.Observe(0, 10, 10, 15, 15) // equal adjacent milestones are legal
+	ms.Observe(1, 0, 5, 9, 100)
+	if !c.Ok() {
+		t.Fatalf("ordered milestones flagged: %v", c.Violations())
+	}
+	// Each inversion is caught.
+	ms.Observe(2, 10, 9, 20, 30) // prefill before arrival
+	ms.Observe(3, 0, 10, 9, 30)  // first token before prefill
+	ms.Observe(4, 0, 10, 20, 19) // done before first token
+	vs := c.Violations()
+	if len(vs) != 3 {
+		t.Fatalf("got %d violations, want 3: %v", len(vs), vs)
+	}
+	for _, v := range vs {
+		if v.Rule != "ordering/milestones" {
+			t.Errorf("rule = %q, want ordering/milestones", v.Rule)
+		}
+	}
+}
+
+// TestServingHandlesNilAllocFree extends the nil-checker zero-cost contract
+// to the serving laws: nil handles, zero allocations.
+func TestServingHandlesNilAllocFree(t *testing.T) {
+	var c *Checker
+	rq := c.Requests("x")
+	ms := c.Milestones("x")
+	if rq != nil || ms != nil {
+		t.Fatal("nil checker returned non-nil serving handles")
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		rq.Arrive()
+		rq.Complete(1)
+		rq.Close(2, 0, 0)
+		ms.Observe(0, 1, 2, 3, 4)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil serving handles allocated %v times per run, want 0", allocs)
+	}
+}
+
+// TestServingHandlesCleanPathAllocFree pins that enabled serving handles stay
+// allocation-free while the laws hold.
+func TestServingHandlesCleanPathAllocFree(t *testing.T) {
+	c := New()
+	rq := c.Requests("x")
+	ms := c.Milestones("x")
+	allocs := testing.AllocsPerRun(1000, func() {
+		rq.Arrive()
+		rq.Complete(1)
+		ms.Observe(0, 1, 2, 3, 4)
+	})
+	if allocs != 0 {
+		t.Fatalf("clean serving path allocated %v times per run, want 0", allocs)
+	}
+	if !c.Ok() {
+		t.Fatalf("unexpected violations: %v", c.Violations())
+	}
+}

@@ -126,6 +126,8 @@ var catalogue = []CatalogueEntry{
 	{"layer", "DES vs analytic full-layer cross-validation", func(r *Runner) (Renderable, error) {
 		return wrapResult(LayerValidation(r.setup))
 	}},
+	{"serve-sweep", "serving capacity under a p99 TTFT SLO (QPS sweep, T3 on/off)", withEval(ServeSweep)},
+	{"serve-tenants", "per-tenant serving latency at a fixed operating point (T3 on/off)", withEval(ServeTenants)},
 	{"ablation-arb", "MC arbitration policy sweep (§4.5)", withEval(AblationArbitration)},
 	{"ablation-nmc", "NMC op-and-store cost sweep (§7.4)", withEval(AblationNMCCost)},
 	{"ablation-dma", "DMA block granularity sweep (§4.2.2)", withEval(AblationDMABlock)},

@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"t3sim/internal/transformer"
+	"t3sim/internal/units"
+)
+
+func TestServeCostBuckets(t *testing.T) {
+	ev := evaluator(t)
+	m, err := transformer.ModelByName(serveModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := BuildServeCost(ev, m, serveTP, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t3, err := BuildServeCost(ev, m, serveTP, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prefill cost grows with the prompt bucket; T3 overlap beats the
+	// sequential baseline at every bucket (the Figure 16/19 result carried
+	// into serving step prices).
+	for i, p := range servePromptBuckets {
+		if base.Prefill(p) <= 0 || t3.Prefill(p) <= 0 {
+			t.Fatalf("non-positive prefill cost at bucket %d", p)
+		}
+		if i > 0 && base.Prefill(p) <= base.Prefill(servePromptBuckets[i-1]) {
+			t.Errorf("prefill cost not increasing at bucket %d", p)
+		}
+		if t3.Prefill(p) >= base.Prefill(p) {
+			t.Errorf("T3 prefill %v not below baseline %v at bucket %d", t3.Prefill(p), base.Prefill(p), p)
+		}
+	}
+	for _, b := range serveBatchBuckets {
+		if base.DecodeStep(b) <= 0 || t3.DecodeStep(b) <= 0 {
+			t.Fatalf("non-positive decode cost at batch %d", b)
+		}
+	}
+	// Lookups round up to the next bucket and clamp above the last one.
+	if got, want := base.Prefill(129), base.Prefill(256); got != want {
+		t.Errorf("Prefill(129) = %v, want the 256 bucket %v", got, want)
+	}
+	if got, want := base.Prefill(100000), base.Prefill(1024); got != want {
+		t.Errorf("Prefill clamp = %v, want the 1024 bucket %v", got, want)
+	}
+	if got, want := base.DecodeStep(3), base.DecodeStep(4); got != want {
+		t.Errorf("DecodeStep(3) = %v, want the 4 bucket %v", got, want)
+	}
+}
+
+func TestServeSweep(t *testing.T) {
+	ev := evaluator(t)
+	res, err := ServeSweep(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := 2 * len(serveDefaultQPS)
+	if len(res.Rows) != wantRows {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), wantRows)
+	}
+	if res.SLO != serveDefaultSLO {
+		t.Errorf("SLO = %v, want %v", res.SLO, serveDefaultSLO)
+	}
+	// Per scheme: tail TTFT is monotone non-decreasing in offered load, and
+	// SLOMet agrees with the recorded SLO.
+	prev := map[string]units.Time{}
+	for _, row := range res.Rows {
+		if row.Throughput <= 0 {
+			t.Errorf("%s @ %g QPS: zero throughput", row.Scheme, row.QPS)
+		}
+		if row.TTFTp99 < prev[row.Scheme] {
+			t.Errorf("%s: TTFT p99 dropped to %v at %g QPS", row.Scheme, row.TTFTp99, row.QPS)
+		}
+		prev[row.Scheme] = row.TTFTp99
+		if row.SLOMet != (row.TTFTp99 <= res.SLO) {
+			t.Errorf("%s @ %g QPS: SLOMet inconsistent", row.Scheme, row.QPS)
+		}
+	}
+	// The headline: T3 overlap sustains at least the baseline's load, and at
+	// the default SLO it sustains strictly more (the capacity delta
+	// EXPERIMENTS.md reports).
+	if res.BaselineCapacity <= 0 {
+		t.Fatal("baseline meets the SLO nowhere on the default ladder")
+	}
+	if res.T3Capacity <= res.BaselineCapacity {
+		t.Errorf("T3 capacity %g not above baseline %g", res.T3Capacity, res.BaselineCapacity)
+	}
+	out := res.Render()
+	if !strings.Contains(out, "Serving capacity sweep") || !strings.Contains(out, "max QPS under SLO") {
+		t.Error("render incomplete")
+	}
+
+	// Same evaluator, second run: bit-identical (the golden guarantee).
+	again, err := ServeSweep(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, again) {
+		t.Error("repeated sweep diverged")
+	}
+}
+
+func TestServeTenants(t *testing.T) {
+	res, err := ServeTenants(evaluator(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 { // 2 schemes x 2 tenants
+		t.Fatalf("rows = %d, want 4", len(res.Rows))
+	}
+	// Request counts are a per-scheme property of the workload draw: the same
+	// seed yields the same population for both schemes.
+	byScheme := map[string]int{}
+	for _, row := range res.Rows {
+		if row.N == 0 {
+			t.Errorf("%s/%s: no completed requests", row.Scheme, row.Tenant)
+		}
+		byScheme[row.Scheme] += row.N
+	}
+	if byScheme["baseline"] != byScheme["T3-MCA"] {
+		t.Errorf("population differs across schemes: %v", byScheme)
+	}
+	out := res.Render()
+	if !strings.Contains(out, "Per-tenant serving latency") {
+		t.Error("render incomplete")
+	}
+}
+
+// TestServeSetupOverrides pins the -qps/-slo plumbing: a Setup carrying
+// ServeQPS/ServeSLO reshapes the sweep without touching the workload draw.
+func TestServeSetupOverrides(t *testing.T) {
+	setup := DefaultSetup()
+	setup.ServeQPS = []float64{2}
+	setup.ServeSLO = 10 * units.Second
+	setup.Memo = NewMemoCache()
+	ev, err := NewEvaluator(setup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ServeSweep(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2 (one ladder point, two schemes)", len(res.Rows))
+	}
+	if res.SLO != 10*units.Second {
+		t.Errorf("SLO override ignored: %v", res.SLO)
+	}
+	// A 10s objective at 2 QPS is trivially met by both schemes.
+	if res.BaselineCapacity != 2 || res.T3Capacity != 2 {
+		t.Errorf("capacities = %g/%g, want 2/2", res.BaselineCapacity, res.T3Capacity)
+	}
+}

@@ -49,6 +49,12 @@ type Setup struct {
 	// from the memo key and safe to flip per invocation (-par on the
 	// CLIs).
 	MultiDeviceWorkers int
+	// ServeQPS, when non-empty, overrides the serving sweep's offered-load
+	// ladder (requests/s); empty uses the built-in default. CLI flag -qps.
+	ServeQPS []float64
+	// ServeSLO, when positive, overrides the serving sweep's p99 TTFT
+	// service-level objective; zero uses the built-in default. CLI flag -slo.
+	ServeSLO units.Time
 	// Memo, if non-nil, is the process-wide content-addressed result cache:
 	// sub-layer evaluations and single-GPU fused runs are keyed by a
 	// canonical hash of every timing-relevant option (see memo.go), so

@@ -93,6 +93,16 @@ func (g *Gauge) Set(v int64) {
 	g.v.Store(v)
 }
 
+// Add adds n (which may be negative) to the gauge — occupancy instruments
+// track deltas this way, +1 on enqueue and -1 on dequeue. No-op on a nil
+// gauge.
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
 // SetMax raises the gauge to v if v is larger (high-water mark). No-op on a
 // nil gauge.
 func (g *Gauge) SetMax(v int64) {

@@ -32,6 +32,11 @@ func TestCounterGaugeBasics(t *testing.T) {
 	if got := g.Value(); got != 9 {
 		t.Errorf("gauge = %d, want 9", got)
 	}
+	g.Add(3)
+	g.Add(-5)
+	if got := g.Value(); got != 7 {
+		t.Errorf("gauge after Add = %d, want 7", got)
+	}
 }
 
 func TestNilHandlesAreInert(t *testing.T) {
@@ -43,6 +48,7 @@ func TestNilHandlesAreInert(t *testing.T) {
 	c.Inc()
 	g.Set(1)
 	g.SetMax(2)
+	g.Add(4)
 	s.Add(units.Microsecond, 3)
 	tr.Span("x", 0, 10)
 	tr.Instant("y", 5)
@@ -65,6 +71,7 @@ func TestNilHandlesAllocateNothing(t *testing.T) {
 		c.Inc()
 		g.Set(1)
 		g.SetMax(2)
+		g.Add(-1)
 		s.Add(0, 1)
 		tr.Span("span", 0, 1)
 		tr.Instant("instant", 0)

@@ -1,0 +1,99 @@
+package serving
+
+import (
+	"testing"
+
+	"t3sim/internal/units"
+)
+
+// steadyConfig is an underloaded open-ended workload: arrivals trickle in,
+// the batch stays shallow, and the simulation reaches a periodic steady
+// state — the regime the allocation pin measures.
+func steadyConfig() Config {
+	return Config{
+		Tenants:     []Tenant{{Name: "t", PromptMin: 8, PromptMax: 8, OutputMin: 4, OutputMax: 4, Weight: 1}},
+		QPS:         1000,
+		NumRequests: 1 << 30, // effectively unbounded; the test stops the clock
+		MaxBatch:    8,
+		Seed:        9,
+		Cost: linCost{
+			perPromptTok: units.Microsecond,
+			decodeBase:   10 * units.Microsecond,
+			perSeq:       units.Microsecond,
+		},
+	}
+}
+
+// TestSteadyStateAllocFree pins the arrival/admission hot path at zero
+// allocations: once the freelist, ring queue, batch slice and event heap have
+// grown to their working sizes, simulating more requests allocates nothing.
+func TestSteadyStateAllocFree(t *testing.T) {
+	s, err := New(steadyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.scheduleNextArrival()
+	// Warm up: grow every backing array, then recycle the completed records
+	// into the freelist.
+	deadline := 100 * units.Millisecond
+	s.eng.RunUntil(deadline)
+	s.recycle()
+	allocs := testing.AllocsPerRun(50, func() {
+		deadline += 10 * units.Millisecond
+		s.eng.RunUntil(deadline)
+		s.recycle()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state serving allocates %.1f/10ms-window, want 0", allocs)
+	}
+	if s.arrived < 500 {
+		t.Fatalf("only %d arrivals; the hot path was not exercised", s.arrived)
+	}
+}
+
+// BenchmarkServe measures end-to-end simulation rate, reporting simulated
+// requests per wall-clock second (the bench script's serving headline).
+func BenchmarkServe(b *testing.B) {
+	cfg := Config{
+		Tenants: []Tenant{
+			{Name: "chat", PromptMin: 64, PromptMax: 512, OutputMin: 16, OutputMax: 128, Weight: 3},
+			{Name: "batch", PromptMin: 256, PromptMax: 1024, OutputMin: 64, OutputMax: 256, Weight: 1},
+		},
+		QPS:         200,
+		NumRequests: 2000,
+		MaxBatch:    16,
+		Seed:        42,
+		Cost:        testCost(),
+	}
+	b.ReportAllocs()
+	total := 0
+	for i := 0; i < b.N; i++ {
+		res, err := Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += res.Completed
+	}
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "req/s")
+}
+
+// BenchmarkArrivalAdmission isolates the hot path: simulated wall-time
+// windows of the steady-state workload, no result aggregation.
+func BenchmarkArrivalAdmission(b *testing.B) {
+	s, err := New(steadyConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.scheduleNextArrival()
+	deadline := 100 * units.Millisecond
+	s.eng.RunUntil(deadline) // warm up backing arrays
+	s.recycle()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		deadline += 10 * units.Millisecond
+		s.eng.RunUntil(deadline)
+		s.recycle()
+	}
+	b.ReportMetric(float64(s.arrived)/b.Elapsed().Seconds(), "req/s")
+}

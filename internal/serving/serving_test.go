@@ -1,0 +1,286 @@
+package serving
+
+import (
+	"reflect"
+	"testing"
+
+	"t3sim/internal/check"
+	"t3sim/internal/metrics"
+	"t3sim/internal/units"
+)
+
+// linCost is a transparent synthetic cost model: prefill linear in prompt
+// tokens, decode affine in batch size. Tests can predict every step time.
+type linCost struct {
+	perPromptTok units.Time
+	decodeBase   units.Time
+	perSeq       units.Time
+}
+
+func (c linCost) Prefill(p int) units.Time    { return c.perPromptTok * units.Time(p) }
+func (c linCost) DecodeStep(b int) units.Time { return c.decodeBase + c.perSeq*units.Time(b) }
+
+func testCost() linCost {
+	return linCost{
+		perPromptTok: 10 * units.Microsecond,
+		decodeBase:   100 * units.Microsecond,
+		perSeq:       10 * units.Microsecond,
+	}
+}
+
+func oneTenant() []Tenant {
+	return []Tenant{{Name: "chat", PromptMin: 64, PromptMax: 512, OutputMin: 16, OutputMax: 128, Weight: 1}}
+}
+
+func TestSingleRequestLifecycle(t *testing.T) {
+	cost := testCost()
+	ck := check.NewStrict()
+	res, err := Run(Config{
+		Tenants:  oneTenant(),
+		Trace:    []Request{{Tenant: 0, Prompt: 10, Output: 3, Arrive: 5 * units.Millisecond}},
+		MaxBatch: 4,
+		Cost:     cost,
+		Checker:  ck,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Arrived != 1 || res.Completed != 1 || res.QueuedAtEnd != 0 || res.ActiveAtEnd != 0 {
+		t.Fatalf("counts = %+v", res)
+	}
+	// Prefill starts immediately (idle server), first token after the prefill
+	// step, then two decode steps of batch 1.
+	wantFirst := 5*units.Millisecond + cost.Prefill(10)
+	wantDone := wantFirst + 2*cost.DecodeStep(1)
+	if res.Overall.TTFTp50 != cost.Prefill(10) {
+		t.Errorf("TTFT = %v, want %v", res.Overall.TTFTp50, cost.Prefill(10))
+	}
+	if res.End != wantDone {
+		t.Errorf("End = %v, want %v", res.End, wantDone)
+	}
+	if res.Overall.TPOTp50 != cost.DecodeStep(1) {
+		t.Errorf("TPOT = %v, want %v", res.Overall.TPOTp50, cost.DecodeStep(1))
+	}
+	if res.Steps != 3 || res.Prefills != 1 || res.DecodeTokens != 2 {
+		t.Errorf("steps/prefills/decode = %d/%d/%d, want 3/1/2", res.Steps, res.Prefills, res.DecodeTokens)
+	}
+}
+
+// TestPrefillDecodeInterleave pins the continuous-batching step semantics: a
+// request arriving mid-step waits for the step boundary, and its prefill step
+// also advances the already-running sequence by one decode token.
+func TestPrefillDecodeInterleave(t *testing.T) {
+	cost := testCost()
+	trace := []Request{
+		{Tenant: 0, Prompt: 10, Output: 3, Arrive: 0},
+		{Tenant: 0, Prompt: 20, Output: 2, Arrive: 10 * units.Microsecond}, // inside A's prefill
+	}
+	s, err := New(Config{Tenants: oneTenant(), Trace: trace, MaxBatch: 4, Cost: cost, Checker: check.NewStrict()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run()
+	if res.Completed != 2 {
+		t.Fatalf("completed = %d, want 2", res.Completed)
+	}
+	var a, b *Request
+	for _, r := range s.completed {
+		if r.ID == 0 {
+			a = r
+		} else {
+			b = r
+		}
+	}
+	// A prefills over [0, 100us).
+	if a.PrefillStart != 0 || a.FirstToken != cost.Prefill(10) {
+		t.Fatalf("A milestones = %+v", *a)
+	}
+	// B is admitted at the first step boundary; that step runs B's prefill
+	// plus a decode for A (batch of 1 already active).
+	step2 := cost.Prefill(20) + cost.DecodeStep(1)
+	if b.PrefillStart != a.FirstToken {
+		t.Errorf("B admitted at %v, want %v", b.PrefillStart, a.FirstToken)
+	}
+	if b.FirstToken != a.FirstToken+step2 {
+		t.Errorf("B first token at %v, want %v", b.FirstToken, a.FirstToken+step2)
+	}
+	// Step 3 decodes both (A's third token, B's second): both finish there.
+	done := a.FirstToken + step2 + cost.DecodeStep(2)
+	if a.Done != done || b.Done != done {
+		t.Errorf("done = %v/%v, want %v", a.Done, b.Done, done)
+	}
+}
+
+func TestPoissonModeConservationAndChecker(t *testing.T) {
+	ck := check.New()
+	reg := metrics.NewRegistry()
+	res, err := Run(Config{
+		Tenants:  oneTenant(),
+		QPS:      200,
+		Horizon:  500 * units.Millisecond,
+		MaxBatch: 8,
+		Seed:     7,
+		Cost:     testCost(),
+		Checker:  ck,
+		Metrics:  reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Arrived == 0 {
+		t.Fatal("no arrivals over a 500ms horizon at 200 QPS")
+	}
+	if res.Arrived != res.Completed+res.QueuedAtEnd+res.ActiveAtEnd {
+		t.Fatalf("conservation: %d != %d+%d+%d", res.Arrived, res.Completed, res.QueuedAtEnd, res.ActiveAtEnd)
+	}
+	if got := reg.CounterValue("serve/arrived"); got != int64(res.Arrived) {
+		t.Errorf("arrived counter = %d, want %d", got, res.Arrived)
+	}
+	if got := reg.GaugeValue("serve/batch_max"); got < 1 || got > 8 {
+		t.Errorf("batch_max gauge = %d, want in [1,8]", got)
+	}
+	if res.Overall.N != res.Completed {
+		t.Errorf("Overall.N = %d, want %d", res.Overall.N, res.Completed)
+	}
+}
+
+func TestDrainCompletesEverything(t *testing.T) {
+	res, err := Run(Config{
+		Tenants:     oneTenant(),
+		QPS:         500,
+		NumRequests: 300,
+		MaxBatch:    8,
+		Seed:        3,
+		Cost:        testCost(),
+		Checker:     check.NewStrict(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Arrived != 300 || res.Completed != 300 || res.QueuedAtEnd != 0 || res.ActiveAtEnd != 0 {
+		t.Fatalf("drain left work behind: %+v", res)
+	}
+	if res.Throughput <= 0 {
+		t.Error("zero throughput")
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	cfg := Config{
+		Tenants: []Tenant{
+			{Name: "chat", PromptMin: 64, PromptMax: 512, OutputMin: 16, OutputMax: 128, Weight: 3},
+			{Name: "batch", PromptMin: 256, PromptMax: 1024, OutputMin: 64, OutputMax: 256, Weight: 1},
+		},
+		QPS:         150,
+		NumRequests: 200,
+		MaxBatch:    16,
+		Seed:        42,
+		Cost:        testCost(),
+	}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("two identical runs diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestMultiTenantSplit(t *testing.T) {
+	cfg := Config{
+		Tenants: []Tenant{
+			{Name: "heavy", PromptMin: 256, PromptMax: 1024, OutputMin: 64, OutputMax: 256, Weight: 1},
+			{Name: "light", PromptMin: 32, PromptMax: 128, OutputMin: 4, OutputMax: 16, Weight: 3},
+		},
+		QPS:         100,
+		NumRequests: 400,
+		MaxBatch:    16,
+		Seed:        1,
+		Cost:        testCost(),
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerTenant) != 2 {
+		t.Fatalf("PerTenant = %d entries", len(res.PerTenant))
+	}
+	if res.PerTenant[0].N+res.PerTenant[1].N != res.Completed {
+		t.Fatalf("tenant split %d+%d != %d", res.PerTenant[0].N, res.PerTenant[1].N, res.Completed)
+	}
+	// Weight 3:1 — the light tenant should dominate (loose 2:1 bound).
+	if res.PerTenant[1].N < 2*res.PerTenant[0].N {
+		t.Errorf("weights ignored: heavy %d vs light %d", res.PerTenant[0].N, res.PerTenant[1].N)
+	}
+	// The heavy tenant's E2E should exceed the light one's (longer outputs).
+	if res.PerTenant[0].E2Ep50 <= res.PerTenant[1].E2Ep50 {
+		t.Errorf("heavy p50 E2E %v <= light %v", res.PerTenant[0].E2Ep50, res.PerTenant[1].E2Ep50)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	base := func() Config {
+		return Config{Tenants: oneTenant(), QPS: 10, Horizon: units.Second, MaxBatch: 4, Cost: testCost()}
+	}
+	good := base()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.Cost = nil },
+		func(c *Config) { c.MaxBatch = 0 },
+		func(c *Config) { c.Tenants = nil },
+		func(c *Config) { c.Tenants[0].PromptMin = 0 },
+		func(c *Config) { c.Tenants[0].OutputMax = c.Tenants[0].OutputMin - 1 },
+		func(c *Config) { c.Tenants[0].Weight = 0 },
+		func(c *Config) { c.QPS = 0 },
+		func(c *Config) { c.Horizon = 0 },
+		func(c *Config) { c.MaxPrefillsPerStep = -1 },
+		func(c *Config) { c.Trace = []Request{{Tenant: 5, Prompt: 1, Output: 1}} },
+		func(c *Config) {
+			c.Trace = []Request{{Tenant: 0, Prompt: 1, Output: 1, Arrive: 5}, {Tenant: 0, Prompt: 1, Output: 1, Arrive: 2}}
+		},
+	}
+	for i, mutate := range bad {
+		c := base()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+// TestQPSRescalesWithoutResampling pins the per-request substream property:
+// the same seed yields the same request population (tenants, lengths) at any
+// QPS — only arrival times change.
+func TestQPSRescalesWithoutResampling(t *testing.T) {
+	shape := func(qps float64) map[int][3]int {
+		cfg := Config{
+			Tenants: []Tenant{
+				{Name: "a", PromptMin: 64, PromptMax: 512, OutputMin: 16, OutputMax: 64, Weight: 1},
+				{Name: "b", PromptMin: 16, PromptMax: 64, OutputMin: 2, OutputMax: 8, Weight: 1},
+			},
+			QPS: qps, NumRequests: 100, MaxBatch: 8, Seed: 99, Cost: testCost(),
+		}
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Run()
+		out := map[int][3]int{}
+		for _, r := range s.completed {
+			out[r.ID] = [3]int{r.Tenant, r.Prompt, r.Output}
+		}
+		return out
+	}
+	if a, b := shape(10), shape(1000); !reflect.DeepEqual(a, b) {
+		t.Fatal("changing QPS resampled the request population")
+	}
+}

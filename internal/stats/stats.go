@@ -6,6 +6,7 @@ package stats
 import (
 	"errors"
 	"math"
+	"sort"
 )
 
 // ErrEmpty is returned by aggregations over empty inputs.
@@ -73,6 +74,43 @@ func Min(xs []float64) (float64, error) {
 		}
 	}
 	return m, nil
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using the
+// nearest-rank method on a sorted copy: the smallest element with at least
+// ceil(p/100 * n) elements at or below it (p = 0 returns the minimum). The
+// nearest-rank definition is exact and interpolation-free, so percentile
+// reports are bit-stable — a property the serving golden snapshots pin.
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if p < 0 || p > 100 || math.IsNaN(p) {
+		return 0, errors.New("stats: percentile out of [0,100]")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return PercentileSorted(sorted, p)
+}
+
+// PercentileSorted is Percentile over already-sorted data; it allocates
+// nothing. The input must be in ascending order.
+func PercentileSorted(sorted []float64, p float64) (float64, error) {
+	n := len(sorted)
+	if n == 0 {
+		return 0, ErrEmpty
+	}
+	if p < 0 || p > 100 || math.IsNaN(p) {
+		return 0, errors.New("stats: percentile out of [0,100]")
+	}
+	rank := int(math.Ceil(p / 100 * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return sorted[rank-1], nil
 }
 
 // RelError returns |got-want| / |want|. It is used to validate the

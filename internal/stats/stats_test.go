@@ -85,6 +85,62 @@ func TestGeomeanRelError(t *testing.T) {
 	}
 }
 
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3} // unsorted on purpose
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {10, 1}, {20, 1}, {21, 2}, {50, 3}, {80, 4}, {99, 5}, {100, 5},
+	}
+	for _, c := range cases {
+		got, err := Percentile(xs, c.p)
+		if err != nil {
+			t.Fatalf("p%.0f: %v", c.p, err)
+		}
+		if got != c.want {
+			t.Errorf("Percentile(p=%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	// The input must not be mutated.
+	if xs[0] != 5 || xs[4] != 3 {
+		t.Error("Percentile mutated its input")
+	}
+	if _, err := Percentile(nil, 50); err != ErrEmpty {
+		t.Errorf("empty input err = %v, want ErrEmpty", err)
+	}
+	for _, bad := range []float64{-1, 101, math.NaN()} {
+		if _, err := Percentile(xs, bad); err == nil {
+			t.Errorf("Percentile(p=%v): want error", bad)
+		}
+	}
+	// Single element: every percentile is that element.
+	for _, p := range []float64{0, 50, 100} {
+		if got, _ := Percentile([]float64{7}, p); got != 7 {
+			t.Errorf("Percentile([7], %v) = %v", p, got)
+		}
+	}
+}
+
+func TestPercentileSortedMatchesAndAllocs(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	for p := 0.0; p <= 100; p += 0.5 {
+		a, _ := Percentile(sorted, p)
+		b, _ := PercentileSorted(sorted, p)
+		if a != b {
+			t.Fatalf("p=%v: Percentile %v != PercentileSorted %v", p, a, b)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := PercentileSorted(sorted, 99); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("PercentileSorted allocates: %v allocs/run", allocs)
+	}
+}
+
 func TestSpeedup(t *testing.T) {
 	if s := Speedup(2, 1); s != 2 {
 		t.Errorf("Speedup = %v, want 2", s)

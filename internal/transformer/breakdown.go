@@ -116,6 +116,11 @@ type IterationModel struct {
 	Model Model
 	TP    int
 	Phase Phase
+	// Tokens is the token count one step processes. NewIterationModel sets it
+	// to PhaseTokens(phase, model); NewIterationModelTokens lets callers pin
+	// it directly (the serving simulator prices prefills of arbitrary prompt
+	// lengths and decode steps of arbitrary batch sizes this way).
+	Tokens int
 	// Sub holds per-layer baseline times for each AR-feeding sub-layer
 	// active in this phase.
 	Sub map[SubLayerKind]SubTimes
@@ -142,16 +147,30 @@ func PhaseTokens(p Phase, m Model) int {
 	return m.Tokens()
 }
 
-// NewIterationModel builds the breakdown for a model/TP/phase on hw.
+// NewIterationModel builds the breakdown for a model/TP/phase on hw, with
+// the phase's conventional token count (the full prompt for training/prompt
+// inference, one token per sequence for generation).
 func NewIterationModel(m Model, tp int, phase Phase, hw HW) (*IterationModel, error) {
+	return NewIterationModelTokens(m, tp, phase, hw, PhaseTokens(phase, m))
+}
+
+// NewIterationModelTokens builds the breakdown for a step processing an
+// explicit token count, decoupled from the model's configured sequence
+// geometry. A prefill over a 384-token prompt is PromptInference with
+// tokens=384; a decode step over a 12-sequence batch is TokenGeneration with
+// tokens=12.
+func NewIterationModelTokens(m Model, tp int, phase Phase, hw HW, tokens int) (*IterationModel, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
-	it := &IterationModel{Model: m, TP: tp, Phase: phase, Sub: map[SubLayerKind]SubTimes{}}
+	if tokens <= 0 {
+		return nil, fmt.Errorf("transformer: non-positive token count %d", tokens)
+	}
+	it := &IterationModel{Model: m, TP: tp, Phase: phase, Tokens: tokens, Sub: map[SubLayerKind]SubTimes{}}
 
 	// AR-feeding sub-layers.
 	for _, kind := range ActiveSubLayers(phase) {
-		sl, err := SubLayerGEMMTokens(m, kind, tp, PhaseTokens(phase, m))
+		sl, err := SubLayerGEMMTokens(m, kind, tp, tokens)
 		if err != nil {
 			return nil, err
 		}
@@ -181,7 +200,7 @@ func NewIterationModel(m Model, tp int, phase Phase, hw HW) (*IterationModel, er
 // otherTime estimates the per-layer time outside the AR sub-layers.
 func (it *IterationModel) otherTime(hw HW) (units.Time, error) {
 	m, tp := it.Model, it.TP
-	tokens := PhaseTokens(it.Phase, m)
+	tokens := it.Tokens
 	e := units.Bytes(2)
 
 	var total units.Time

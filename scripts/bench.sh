@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # bench.sh — run the benchmark suite and the full experiment catalogue, and
-# emit a machine-readable snapshot (BENCH_6.json by default).
+# emit a machine-readable snapshot (BENCH_7.json by default).
 #
 # The root package's Benchmark* functions replay whole catalogue experiments,
 # so they run at ROOT_BENCHTIME (default 1x: one full iteration each). The
@@ -8,6 +8,12 @@
 # path (channel service, tracker observe/fire, DMA table, trigger chain) and
 # run at MICRO_BENCHTIME (default 1000x) so ns/op is meaningful; their
 # allocs/op figures are exact at any benchtime.
+#
+# The serving section pulls internal/serving's figures out of the internal
+# suite — simulated requests per wall-clock second end-to-end and on the
+# isolated arrival/admission path — and fails the run outright if the
+# admission hot path reports a nonzero allocs/op (its zero-allocation
+# steady state is also pinned by TestSteadyStateAllocFree).
 #
 # The multi-device scaling sections re-run the explicit simulation at
 # ParWorkers 0 (sequential single engine) and 2/4/8 (conservative parallel
@@ -35,7 +41,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out=${1:-BENCH_6.json}
+out=${1:-BENCH_7.json}
 root_benchtime=${ROOT_BENCHTIME:-1x}
 micro_benchtime=${MICRO_BENCHTIME:-1000x}
 scaling_benchtime=${SCALING_BENCHTIME:-3x}
@@ -95,6 +101,21 @@ win_width=$(bench_col "$scaling64_raw" BenchmarkMultiDevice64Workers8 window-ps/
 echo "64-device scaling ns/op: seq=$seq64_ns w2=$w2_64_ns w4=$w4_64_ns w8=$w8_64_ns" \
      "(windows=$win_count avg_width=${win_width}ps)"
 
+# Serving simulator section: the internal suite above already ran
+# internal/serving's benchmarks; pull out the simulated-request rate
+# (req/s, minimum across repeats — the conservative estimate for a
+# throughput metric) and enforce the arrival/admission hot path's
+# zero-allocation guarantee, the serving tentpole's alloc pin.
+echo "== serving: simulated request rate and hot-path allocation check =="
+serve_req_s=$(bench_col "$raw" BenchmarkServe req/s)
+admit_req_s=$(bench_col "$raw" BenchmarkArrivalAdmission req/s)
+admit_allocs=$(bench_col "$raw" BenchmarkArrivalAdmission allocs/op)
+if [ "${admit_allocs:-missing}" != "0" ]; then
+    echo "serving arrival/admission hot path allocates (${admit_allocs:-missing} allocs/op, want 0)" >&2
+    exit 1
+fi
+echo "serving: end-to-end $serve_req_s req/s, admission path $admit_req_s req/s at $admit_allocs allocs/op"
+
 echo "== experiment catalogue: -exp all -j 1 wall time =="
 go build -o "$workdir/t3sim" ./cmd/t3sim
 start=$(date +%s.%N)
@@ -115,7 +136,9 @@ awk -v go_version="$go_version" \
     -v seq_ns="$seq_ns" -v w2_ns="$w2_ns" -v w4_ns="$w4_ns" -v w8_ns="$w8_ns" \
     -v seq64_ns="$seq64_ns" -v w2_64_ns="$w2_64_ns" \
     -v w4_64_ns="$w4_64_ns" -v w8_64_ns="$w8_64_ns" \
-    -v win_count="$win_count" -v win_width="$win_width" '
+    -v win_count="$win_count" -v win_width="$win_width" \
+    -v serve_req_s="$serve_req_s" -v admit_req_s="$admit_req_s" \
+    -v admit_allocs="$admit_allocs" '
 /^pkg:/ { pkg = $2 }
 /^Benchmark/ {
     name = $1
@@ -163,6 +186,11 @@ END {
     printf "    \"speedup_workers8\": %.3f,\n", seq64_ns / w8_64_ns
     printf "    \"window_count\": %s,\n", win_count == "" ? "null" : win_count
     printf "    \"avg_window_width_ps\": %s\n", win_width == "" ? "null" : win_width
+    printf "  },\n"
+    printf "  \"serving\": {\n"
+    printf "    \"serve_req_per_s\": %s,\n", serve_req_s == "" ? "null" : serve_req_s
+    printf "    \"admission_req_per_s\": %s,\n", admit_req_s == "" ? "null" : admit_req_s
+    printf "    \"admission_allocs_per_op\": %s\n", admit_allocs == "" ? "null" : admit_allocs
     printf "  },\n"
     printf "  \"benchmarks\": [\n"
     for (i = 1; i <= n; i++) printf "%s%s\n", rows[i], i < n ? "," : ""

@@ -1,0 +1,74 @@
+package t3sim
+
+import (
+	"t3sim/internal/experiments"
+	"t3sim/internal/serving"
+)
+
+// Request-level serving simulation: an open-loop, continuous-batching
+// inference server layered on the DES (internal/serving). Requests arrive via
+// a deterministic Poisson process (or an explicit trace) across weighted
+// multi-tenant streams; per-request TTFT/TPOT/E2E latencies feed nearest-rank
+// percentile summaries. Runs are bit-identical for a given Config at any
+// process parallelism — each simulation owns a private engine.
+type (
+	// ServingConfig describes one serving workload: tenants, offered load,
+	// batching policy, cost model and instrumentation.
+	ServingConfig = serving.Config
+	// ServingTenant is one request stream with its own prompt/output-length
+	// distributions and arrival weight.
+	ServingTenant = serving.Tenant
+	// ServingRequest is one request's lifecycle record (trace input and
+	// per-request result).
+	ServingRequest = serving.Request
+	// ServingCostModel prices a prefill of a given prompt length and a
+	// decode step over a given batch.
+	ServingCostModel = serving.CostModel
+	// ServingLatency summarizes TTFT/TPOT/E2E percentiles over a request
+	// population.
+	ServingLatency = serving.Latency
+	// ServingResult aggregates one serving run: conservation counts,
+	// throughput, and overall plus per-tenant latency summaries.
+	ServingResult = serving.Result
+)
+
+// RunServing simulates one serving workload to completion.
+func RunServing(cfg ServingConfig) (*ServingResult, error) { return serving.Run(cfg) }
+
+// Serving experiments: the capacity question the paper's fixed-iteration
+// figures stop short of — how much offered load does T3's fused overlap
+// sustain at a p99 TTFT SLO?
+type (
+	// ServeSweepResult is the QPS-ladder capacity study (catalogue entry
+	// "serve-sweep"): latency percentiles per (scheme, QPS) operating point
+	// and the max QPS each scheme sustains under the SLO.
+	ServeSweepResult = experiments.ServeSweepResult
+	// ServeSweepRow is one (scheme, offered QPS) operating point.
+	ServeSweepRow = experiments.ServeSweepRow
+	// ServeTenantsResult is the per-tenant fairness study at a fixed
+	// operating point (catalogue entry "serve-tenants").
+	ServeTenantsResult = experiments.ServeTenantsResult
+	// ServeTenantRow is one (scheme, tenant) latency summary.
+	ServeTenantRow = experiments.ServeTenantRow
+	// ServeCost is the bucketed iteration-model cost table the serving
+	// experiments price steps from (a ServingCostModel).
+	ServeCost = experiments.ServeCost
+)
+
+// BuildServeCost prices every prompt-length and batch-size bucket for one
+// model/TP from the iteration model, with (t3 = true) or without T3's fused
+// GEMM→RS overlap; the T3 pricing runs one memoized DES fused run per
+// (sub-layer, bucket).
+func BuildServeCost(ev *Evaluator, m Model, tp int, t3 bool) (*ServeCost, error) {
+	return experiments.BuildServeCost(ev, m, tp, t3)
+}
+
+// ServeSweep runs the serving capacity sweep: throughput and TTFT/TPOT
+// percentiles across the QPS ladder, T3 overlap off vs on, reporting the max
+// QPS sustained under the p99 TTFT SLO. Setup.ServeQPS and Setup.ServeSLO
+// (CLI -qps/-slo) override the ladder and the objective.
+func ServeSweep(ev *Evaluator) (*ServeSweepResult, error) { return experiments.ServeSweep(ev) }
+
+// ServeTenants runs the per-tenant latency study at a fixed operating point,
+// T3 overlap off vs on.
+func ServeTenants(ev *Evaluator) (*ServeTenantsResult, error) { return experiments.ServeTenants(ev) }
