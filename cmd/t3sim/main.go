@@ -128,6 +128,9 @@ func main() {
 		"write a Perfetto-loadable trace-event timeline of the run to this JSON file")
 	metricsOut := flag.String("metrics", "",
 		"write every simulation's final counters and gauges to this JSON file")
+	topo := flag.String("topo", "",
+		"restrict the topo-sweep experiment to one interconnect graph "+
+			"(ring|torus|switch|hier, 8 devices); empty sweeps all four")
 	qps := flag.String("qps", "",
 		"comma-separated offered-load ladder for the serving experiments "+
 			"(requests/s); empty keeps the built-in sweep")
@@ -225,6 +228,15 @@ func main() {
 	}
 
 	setup := t3sim.DefaultExperimentSetup()
+	if *topo != "" {
+		spec, err := t3sim.TopoSpecFor(*topo, 8, setup.Link)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "t3sim: -topo: %v\n", err)
+			exitCode = 2
+			return
+		}
+		setup.Topo = spec
+	}
 	if *qps != "" {
 		ladder, err := parseQPS(*qps)
 		if err != nil {

@@ -5,6 +5,7 @@
 //	t3sweep -m 8192 -n 4096 -k 512 -devices 4,8,16
 //	t3sweep -m 8192 -n 4096 -k 512 -devices 8 -links 150,75,37.5 -arb mca
 //	t3sweep -collective direct -devices 8
+//	t3sweep -collective multi -topo torus -devices 8
 //	t3sweep -devices 4,8,16,32 -links 300,150,75 -j 8
 //
 // Output columns: devices, link_gbps, cus, arbitration, collective,
@@ -66,6 +67,9 @@ func run() (code int) {
 		cus   = flag.String("cus", "80", "comma-separated GPU CU counts")
 		arb   = flag.String("arb", "mca", "arbitration: rr | mca | cf")
 		coll  = flag.String("collective", "rs", "collective: rs | direct | ag | a2a | multi (explicit N-device rs)")
+		topo  = flag.String("topo", "",
+			"route -collective multi over this interconnect graph "+
+				"(ring|torus|switch|hier); empty keeps the implicit ring")
 		hdr   = flag.Bool("header", true, "print the CSV header")
 		serve = flag.Bool("serve", false,
 			"run the serving capacity sweep instead of a GEMM sweep: one CSV row per "+
@@ -120,6 +124,9 @@ func run() (code int) {
 	collective, err := parseCollective(*coll)
 	if err != nil {
 		return fail(err)
+	}
+	if *topo != "" && *coll != "multi" {
+		return fail(fmt.Errorf("-topo %s: only the explicit multi-device run (-collective multi) routes over a graph", *topo))
 	}
 	deviceList, err := parseInts(*devs)
 	if err != nil {
@@ -209,7 +216,7 @@ func run() (code int) {
 					sink = reg.Scope(fmt.Sprintf("cfg%03d-dev%d-link%g-cu%d",
 						i, c.devices, c.link, c.cus))
 				}
-				row, err := runOne(grid, c.devices, c.link, c.cus, arbitration, collective, *arb, *coll, *par, sink, checker)
+				row, err := runOne(grid, c.devices, c.link, c.cus, arbitration, collective, *arb, *coll, *topo, *par, sink, checker)
 				slots[i] <- rowResult{row: row, err: err}
 			}
 		}()
@@ -356,14 +363,24 @@ func writeExport(path string, write func(io.Writer) error) error {
 // receives the run's instruments (spans, counters, gauges); a non-nil checker
 // audits the run's conservation/ordering/bound invariants.
 func runOne(grid t3sim.GEMMGrid, devices int, linkGBps float64, cus int,
-	arb t3sim.Arbitration, coll t3sim.FusedCollective, arbName, collName string,
+	arb t3sim.Arbitration, coll t3sim.FusedCollective, arbName, collName, topoName string,
 	par int, sink t3sim.MetricsSink, checker *t3sim.Checker) (string, error) {
 	gpu := t3sim.DefaultGPUConfig()
 	gpu.CUs = cus
 	link := t3sim.DefaultLinkConfig()
 	link.LinkBandwidth = t3sim.Bandwidth(linkGBps / 2 * 1e9) // per direction
 
+	var topoSpec t3sim.TopoSpec
+	if topoName != "" {
+		var err error
+		topoSpec, err = t3sim.TopoSpecFor(topoName, devices, link)
+		if err != nil {
+			return "", err
+		}
+	}
+
 	opts := t3sim.FusedOptions{
+		Topo:        topoSpec,
 		GPU:         gpu,
 		Memory:      t3sim.DefaultMemoryConfig(),
 		Link:        link,

@@ -128,6 +128,30 @@ func CoarseOverlap(setup ExperimentSetup) (*CoarseOverlapResult, error) {
 	return experiments.CoarseOverlap(setup)
 }
 
+// TopoSweepResult is the topology sweep (ROADMAP item 1): collective
+// algorithm auto-selection across message sizes, the timed graph DES against
+// its analytic envelope, and the fused GEMM→reduce-scatter overlap routed
+// over each graph.
+type TopoSweepResult = experiments.TopoSweepResult
+
+// TopoSweep runs the topology sweep; a non-zero setup.Topo restricts it to
+// that single graph.
+func TopoSweep(setup ExperimentSetup) (*TopoSweepResult, error) {
+	return experiments.TopoSweep(setup)
+}
+
+// TopoSpecFor builds the named topology family (ring|torus|switch|hier) over
+// n devices from the base link — the parser behind the CLIs' -topo flag.
+func TopoSpecFor(kind string, n int, link LinkConfig) (TopoSpec, error) {
+	return experiments.TopoSpecFor(kind, n, link)
+}
+
+// DefaultTopoSpecs is the topology sweep's default ladder at the Table 1 TP
+// degree: an 8-ring, a 2x4 torus, an 8-way switch, and a 2x4 hierarchy.
+func DefaultTopoSpecs(link LinkConfig) []TopoSpec {
+	return experiments.DefaultTopoSpecs(link)
+}
+
 // Ablation studies (design-choice sweeps beyond the paper's figures).
 type (
 	// AblationArbResult sweeps the §4.5 arbitration design space.

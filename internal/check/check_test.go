@@ -154,6 +154,7 @@ func TestNilCheckerAllocatesNothing(t *testing.T) {
 		w.Window(1, 2)
 		b.Observe(1, 2)
 		la.Observe(10, 5)
+		la.ObserveLink(10, 5, 20)
 		cell.Add(1)
 		cell.Sub(1)
 		x.Close(3)
@@ -181,6 +182,25 @@ func TestLookaheadLaw(t *testing.T) {
 	vs := c.Violations()
 	if len(vs) != 1 || vs[0].Rule != "ordering/lookahead" || vs[0].At != 99 {
 		t.Fatalf("violations = %v, want one ordering/lookahead at t=99", vs)
+	}
+}
+
+// TestLookaheadLinkLawPerEdge exercises the graph form of the lookahead law:
+// on an arbitrary topology each edge carries its own minimum latency, so the
+// same handle must accept a delivery that respects one edge's latency and
+// reject one that undercuts another's.
+func TestLookaheadLinkLawPerEdge(t *testing.T) {
+	c := New()
+	la := c.Lookahead("cluster")
+	la.ObserveLink(100, 5, 105)  // fast intra-node edge, exactly at the bound
+	la.ObserveLink(100, 50, 200) // slow inter-node edge, comfortably beyond
+	if !c.Ok() {
+		t.Fatalf("legal per-edge deliveries flagged: %v", c.Violations())
+	}
+	la.ObserveLink(100, 50, 149) // arrives faster than the edge's registered latency
+	vs := c.Violations()
+	if len(vs) != 1 || vs[0].Rule != "ordering/link-lookahead" || vs[0].At != 149 {
+		t.Fatalf("violations = %v, want one ordering/link-lookahead at t=149", vs)
 	}
 }
 

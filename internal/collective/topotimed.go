@@ -1,0 +1,436 @@
+package collective
+
+import (
+	"fmt"
+
+	"t3sim/internal/check"
+	"t3sim/internal/interconnect"
+	"t3sim/internal/memory"
+	"t3sim/internal/metrics"
+	"t3sim/internal/sim"
+	"t3sim/internal/units"
+)
+
+// TopoOptions parameterizes a timed collective over an arbitrary topology
+// graph. It mirrors Options with the ring replaced by an
+// interconnect.Topology; multi-hop sends store-and-forward block by block
+// through the graph's deterministic routes.
+type TopoOptions struct {
+	Topo    *interconnect.Topology
+	Devices []*Device
+	// TotalBytes is the full array size being reduced/gathered.
+	TotalBytes units.Bytes
+	// BlockBytes is the software pipelining granularity (see Options).
+	BlockBytes units.Bytes
+	// CUs and PerCUMemBandwidth set the kernel's CU-side touch rate.
+	CUs               int
+	PerCUMemBandwidth units.Bandwidth
+	// NMC stages reduction arrivals as in-DRAM updates and eliminates fold
+	// and merge kernels (§4.3).
+	NMC bool
+	// Stream selects the memory-controller stream the kernel's accesses use.
+	Stream memory.Stream
+	// Metrics, if non-nil, receives the same "collective" track, staging
+	// instants, and block/byte counters the ring run emits. Nil costs
+	// nothing.
+	Metrics metrics.Sink
+	// Check, if non-nil, attaches the graph conservation witness: a wire
+	// ledger over all links plus a per-device incoming-bytes bound that a
+	// mis-routed chunk violates. Nil costs nothing.
+	Check *check.Checker
+}
+
+// Validate reports whether the options are usable.
+func (o TopoOptions) Validate() error {
+	switch {
+	case o.Topo == nil:
+		return fmt.Errorf("collective: nil topology")
+	case len(o.Devices) != o.Topo.Devices():
+		return fmt.Errorf("collective: %d devices for %d-device topology", len(o.Devices), o.Topo.Devices())
+	case o.TotalBytes <= 0:
+		return fmt.Errorf("collective: TotalBytes = %v", o.TotalBytes)
+	case o.BlockBytes <= 0:
+		return fmt.Errorf("collective: BlockBytes = %v", o.BlockBytes)
+	case o.CUs <= 0:
+		return fmt.Errorf("collective: CUs = %d", o.CUs)
+	case o.PerCUMemBandwidth <= 0:
+		return fmt.Errorf("collective: PerCUMemBandwidth = %v", o.PerCUMemBandwidth)
+	}
+	for i, d := range o.Devices {
+		if d == nil || d.Mem == nil {
+			return fmt.Errorf("collective: device %d missing memory controller", i)
+		}
+	}
+	return nil
+}
+
+func (o TopoOptions) cuRate() units.Bandwidth {
+	return units.Bandwidth(float64(o.PerCUMemBandwidth) * float64(o.CUs))
+}
+
+// graphRun tracks one in-flight timed collective over a topology graph. Like
+// the ring run, blocks pipeline freely within a round but a device begins
+// round r+1 only after every round-r op destined to it has been staged (and,
+// for eager-fold algorithms, folded) — the kernel boundary. Unlike the ring,
+// a round may deliver nothing to a device (tree leaves, finished halving
+// partners); such devices advance immediately.
+type graphRun struct {
+	eng    *sim.Engine   // shared-engine mode; nil in cluster mode
+	engs   []*sim.Engine // cluster mode: device d's private engine; nil otherwise
+	o      TopoOptions
+	n      int
+	sched  *schedule
+	cuFree []units.Time // per-device CU pacer (single-writer: device d's engine)
+
+	// cursor[d] is the next round device d will issue; advanced only on d's
+	// engine. fences[d][r] gates round r+1 (nil when round r delivers
+	// nothing to d); registered up front because a fast peer may deliver
+	// round-r+1 blocks while d is still staging round r.
+	cursor []int
+	fences [][]*sim.Fence
+
+	done       *sim.Fence  // shared-engine mode completion
+	deviceDone func(d int) // cluster mode: invoked on device d's engine
+
+	mtrack     *metrics.Track
+	mtracks    []*metrics.Track
+	mBlocks    *metrics.Counter
+	mLinkBytes *metrics.Counter
+
+	ledger  *check.Ledger
+	cells   []*check.CrossCell
+	xledger *check.CrossLedger
+	// bounds[d] caps the wire bytes staged at device d by the schedule's
+	// expectation; staged[d] is the running total (single-writer: d's
+	// engine). A chunk delivered to the wrong device pushes that device
+	// past its bound.
+	bounds []*check.Bound
+	staged []int64
+}
+
+func (r *graphRun) engOf(d int) *sim.Engine {
+	if r.engs != nil {
+		return r.engs[d]
+	}
+	return r.eng
+}
+
+func (r *graphRun) trackOf(d int) *metrics.Track {
+	if r.mtracks != nil {
+		return r.mtracks[d]
+	}
+	return r.mtrack
+}
+
+func (r *graphRun) wireAdd(d int, n int64) {
+	if r.cells != nil {
+		r.cells[d].Add(n)
+		return
+	}
+	r.ledger.Add(n)
+}
+
+func (r *graphRun) wireSub(d int, n int64) {
+	if r.cells != nil {
+		r.cells[d].Sub(n)
+		return
+	}
+	r.ledger.Sub(r.engOf(d).Now(), n)
+}
+
+func (r *graphRun) horizon() units.Time {
+	var h units.Time
+	for _, e := range r.engs {
+		if e.Now() > h {
+			h = e.Now()
+		}
+	}
+	return h
+}
+
+func newGraphRun(eng *sim.Engine, engs []*sim.Engine, algo Algorithm, op Op, o TopoOptions, onDone sim.Handler) (*graphRun, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	n := o.Topo.Devices()
+	sched, err := buildSchedule(algo, op, n, o.TotalBytes, o.NMC)
+	if err != nil {
+		return nil, err
+	}
+	r := &graphRun{eng: eng, engs: engs, o: o, n: n, sched: sched}
+	r.cuFree = make([]units.Time, n)
+	r.cursor = make([]int, n)
+	if engs == nil {
+		if o.Check.Enabled() {
+			r.ledger = o.Check.Ledger("collective.topo")
+			inner := onDone
+			onDone = func() {
+				r.ledger.Close(eng.Now())
+				if inner != nil {
+					inner()
+				}
+			}
+		}
+		r.done = sim.NewFence(n, onDone)
+	} else if o.Check.Enabled() {
+		x := o.Check.CrossLedger("collective.topo")
+		r.cells = make([]*check.CrossCell, n)
+		for d := range r.cells {
+			r.cells[d] = x.Cell()
+		}
+		r.xledger = x
+	}
+	if o.Check.Enabled() {
+		r.bounds = make([]*check.Bound, n)
+		r.staged = make([]int64, n)
+		for d := range r.bounds {
+			r.bounds[d] = o.Check.Bound(
+				fmt.Sprintf("collective.topo.dev%d.incoming", d),
+				sched.expectedIncomingBytes(d))
+		}
+	}
+	if m := o.Metrics; m != nil {
+		if engs != nil {
+			r.mtracks = make([]*metrics.Track, n)
+			for d := range r.mtracks {
+				r.mtracks[d] = m.Track(fmt.Sprintf("collective.dev%d", d))
+			}
+		} else {
+			r.mtrack = m.Track("collective")
+		}
+		r.mBlocks = m.Counter("collective.blocks_sent")
+		r.mLinkBytes = m.Counter("collective.link_bytes")
+	}
+
+	r.fences = make([][]*sim.Fence, n)
+	for d := 0; d < n; d++ {
+		r.fences[d] = make([]*sim.Fence, len(sched.rounds))
+		for rd := range sched.rounds {
+			in := sched.incomingBlocks(d, rd, o.BlockBytes)
+			if in == 0 {
+				continue
+			}
+			d, rd := d, rd
+			r.fences[d][rd] = sim.NewFence(in, func() {
+				if tr := r.trackOf(d); tr != nil {
+					tr.Instant(fmt.Sprintf("dev%d.round%d.staged", d, rd), r.engOf(d).Now())
+				}
+				if r.cursor[d] == rd+1 {
+					r.advance(d)
+				}
+			})
+		}
+	}
+	return r, nil
+}
+
+// start kicks off round 0 on every device.
+func (r *graphRun) start() {
+	for d := 0; d < r.n; d++ {
+		r.advance(d)
+	}
+}
+
+// advance issues device d's rounds until it must wait for arrivals or runs
+// out of schedule. Runs on d's engine (or during setup, before the engines
+// start); resumed by the round fence callback.
+func (r *graphRun) advance(d int) {
+	for {
+		rd := r.cursor[d]
+		if rd == len(r.sched.rounds) {
+			r.complete(d)
+			return
+		}
+		r.issueRound(d, rd)
+		r.cursor[d] = rd + 1
+		if f := r.fences[d][rd]; f != nil && !f.Fired() {
+			return
+		}
+	}
+}
+
+// issueRound launches every round-rd op device d sources, block by block.
+func (r *graphRun) issueRound(d, rd int) {
+	for _, op := range r.sched.rounds[rd] {
+		if op.src != d {
+			continue
+		}
+		for _, b := range splitBlocks(op.bytes, r.o.BlockBytes) {
+			if op.dst == d {
+				r.merge(d, rd, b)
+			} else {
+				r.send(rd, op, b)
+			}
+		}
+	}
+}
+
+// pace reserves CU time on device d for touching n bytes `touches` times.
+func (r *graphRun) pace(d int, touches int, n units.Bytes) units.Time {
+	now := r.engOf(d).Now()
+	if r.cuFree[d] < now {
+		r.cuFree[d] = now
+	}
+	r.cuFree[d] += r.o.cuRate().TransferTime(units.Bytes(touches) * n)
+	return r.cuFree[d]
+}
+
+// send moves one block of a wire op: read the sender's inputs, pace the
+// kernel, route through the topology (store-and-forward per hop), and stage
+// at the destination.
+func (r *graphRun) send(rd int, op sendOp, block units.Bytes) {
+	o := r.o
+	mem := o.Devices[op.src].Mem
+	start := r.engOf(op.src).Now()
+	fence := sim.NewFence(op.srcReads, func() {
+		at := r.pace(op.src, op.srcReads+1, block)
+		r.engOf(op.src).At(at, func() {
+			r.wireAdd(op.src, int64(block))
+			o.Topo.Send(op.src, op.dst, block, func() {
+				// On a cluster this runs on the destination's engine.
+				r.mBlocks.Inc()
+				r.mLinkBytes.Add(int64(block))
+				if tr := r.trackOf(op.dst); tr != nil {
+					tr.Span(fmt.Sprintf("dev%d.round%d.block", op.src, rd), start, r.engOf(op.dst).Now())
+				}
+				r.stage(rd, op, block)
+			})
+		})
+	})
+	for i := 0; i < op.srcReads; i++ {
+		mem.Transfer(memory.Read, o.Stream, block, memory.Tag{}, fence.Done)
+	}
+}
+
+// stage lands one delivered block in the destination's memory — a plain
+// write, or an op-and-store update when NMC absorbs the reduction — then
+// folds it if the schedule asks, and credits the round fence.
+func (r *graphRun) stage(rd int, op sendOp, block units.Bytes) {
+	o := r.o
+	d := op.dst
+	kind := memory.Write
+	if op.reduce && o.NMC {
+		kind = memory.Update
+	}
+	o.Devices[d].Mem.Transfer(kind, o.Stream, block, memory.Tag{}, func() {
+		r.wireSub(d, int64(block))
+		if r.bounds != nil {
+			r.staged[d] += int64(block)
+			r.bounds[d].Observe(r.engOf(d).Now(), r.staged[d])
+		}
+		if op.fold && op.reduce && !o.NMC {
+			r.fold(d, rd, block)
+			return
+		}
+		r.credit(d, rd)
+	})
+}
+
+// fold combines a staged reduction block into device d's local accumulator:
+// 2 reads + 1 write on the CUs, the eager counterpart of the ring's final
+// read-modify-write.
+func (r *graphRun) fold(d, rd int, block units.Bytes) {
+	o := r.o
+	mem := o.Devices[d].Mem
+	reads := sim.NewFence(2, func() {
+		at := r.pace(d, 3, block)
+		r.engOf(d).At(at, func() {
+			mem.Transfer(memory.Write, o.Stream, block, memory.Tag{}, func() { r.credit(d, rd) })
+		})
+	})
+	mem.Transfer(memory.Read, o.Stream, block, memory.Tag{}, reads.Done)
+	mem.Transfer(memory.Read, o.Stream, block, memory.Tag{}, reads.Done)
+}
+
+// merge runs one block of a local merge kernel (the ring schedule's final
+// read-modify-write): 2 reads + 1 write, crediting the round's own fence.
+func (r *graphRun) merge(d, rd int, block units.Bytes) {
+	o := r.o
+	mem := o.Devices[d].Mem
+	reads := sim.NewFence(2, func() {
+		at := r.pace(d, 3, block)
+		r.engOf(d).At(at, func() {
+			mem.Transfer(memory.Write, o.Stream, block, memory.Tag{}, func() { r.credit(d, rd) })
+		})
+	})
+	mem.Transfer(memory.Read, o.Stream, block, memory.Tag{}, reads.Done)
+	mem.Transfer(memory.Read, o.Stream, block, memory.Tag{}, reads.Done)
+}
+
+// credit marks one round-rd block landed at device d. A block the schedule
+// never promised — a mis-route — finds its fence fired or missing; the
+// per-device incoming bound already reported it, so the credit is dropped
+// rather than corrupting the fence.
+func (r *graphRun) credit(d, rd int) {
+	if f := r.fences[d][rd]; f != nil && !f.Fired() {
+		f.Done()
+	}
+}
+
+func (r *graphRun) complete(d int) {
+	if r.deviceDone != nil {
+		r.deviceDone(d)
+		return
+	}
+	r.done.Done()
+}
+
+// StartTopoCollective schedules a timed collective with the given algorithm
+// and operation over o.Topo on eng, running onDone when every device has
+// finished. The caller drives the engine.
+func StartTopoCollective(eng *sim.Engine, algo Algorithm, op Op, o TopoOptions, onDone sim.Handler) error {
+	r, err := newGraphRun(eng, nil, algo, op, o, onDone)
+	if err != nil {
+		return err
+	}
+	r.start()
+	return nil
+}
+
+// TopoClusterRun is a timed topology collective scheduled across the
+// per-device engines of a sim.Cluster (o.Topo must be built with
+// BuildCluster on the same cluster). Drive it with Cluster.Run, then call
+// Finish.
+type TopoClusterRun struct {
+	r      *graphRun
+	doneAt []units.Time
+}
+
+// StartClusterTopoCollective schedules a timed collective across the
+// cluster's engines. The result is identical to StartTopoCollective on a
+// single shared engine at every worker count.
+func StartClusterTopoCollective(cl *sim.Cluster, algo Algorithm, op Op, o TopoOptions) (*TopoClusterRun, error) {
+	engs := cl.Engines()
+	if o.Topo != nil && o.Topo.Devices() != len(engs) {
+		return nil, fmt.Errorf("collective: %d-device topology on %d-engine cluster",
+			o.Topo.Devices(), len(engs))
+	}
+	r, err := newGraphRun(nil, engs, algo, op, o, nil)
+	if err != nil {
+		return nil, err
+	}
+	cr := &TopoClusterRun{r: r, doneAt: make([]units.Time, r.n)}
+	r.deviceDone = func(d int) { cr.doneAt[d] = r.engOf(d).Now() }
+	r.start()
+	return cr, nil
+}
+
+// DeviceDone returns device d's completion time. Valid after Cluster.Run.
+func (cr *TopoClusterRun) DeviceDone(d int) units.Time { return cr.doneAt[d] }
+
+// Done returns the overall completion time — the latest device completion.
+func (cr *TopoClusterRun) Done() units.Time {
+	var t units.Time
+	for _, at := range cr.doneAt {
+		if at > t {
+			t = at
+		}
+	}
+	return t
+}
+
+// Finish closes the cross-engine conservation books. Call it once, after
+// Cluster.Run has returned.
+func (cr *TopoClusterRun) Finish() {
+	cr.r.xledger.Close(cr.r.horizon())
+}

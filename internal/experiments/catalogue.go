@@ -126,6 +126,9 @@ var catalogue = []CatalogueEntry{
 	{"layer", "DES vs analytic full-layer cross-validation", func(r *Runner) (Renderable, error) {
 		return wrapResult(LayerValidation(r.setup))
 	}},
+	{"topo-sweep", "topology sweep: algorithm auto-selection + off-ring fused overlap (ROADMAP item 1)", func(r *Runner) (Renderable, error) {
+		return wrapResult(TopoSweep(r.setup))
+	}},
 	{"serve-sweep", "serving capacity under a p99 TTFT SLO (QPS sweep, T3 on/off)", withEval(ServeSweep)},
 	{"serve-tenants", "per-tenant serving latency at a fixed operating point (T3 on/off)", withEval(ServeTenants)},
 	{"ablation-arb", "MC arbitration policy sweep (§4.5)", withEval(AblationArbitration)},

@@ -71,6 +71,7 @@ var hashPolicies = map[reflect.Type]map[string]fieldPolicy{
 		"GPU":                policyHash,
 		"Memory":             policyHash,
 		"Link":               policyHash,
+		"Topo":               policyHash,
 		"Tracker":            policyHash,
 		"Devices":            policyHash,
 		"Grid":               policyHash,

@@ -24,6 +24,12 @@ type Setup struct {
 	Memory  memory.Config
 	Link    interconnect.Config
 	Tracker t3core.TrackerConfig
+	// Topo, when non-zero, restricts the topology sweep (the topo-sweep
+	// catalogue entry) to this single interconnect graph instead of its
+	// default ring/torus/switch/hier ladder, and is threaded into the
+	// sweep's fused multi-device runs. The paper experiments model the
+	// Table 1 ring and ignore it. CLI flag -topo.
+	Topo interconnect.TopoSpec
 	// BlockBytes is the timed collectives' software pipelining granularity.
 	BlockBytes units.Bytes
 	// CollectiveCUs is the CU allocation of standalone collective kernels.
@@ -98,6 +104,11 @@ func (s Setup) Validate() error {
 	}
 	if err := s.Tracker.Validate(); err != nil {
 		return err
+	}
+	if !s.Topo.IsZero() {
+		if err := s.Topo.Validate(); err != nil {
+			return err
+		}
 	}
 	if s.BlockBytes <= 0 {
 		return fmt.Errorf("experiments: BlockBytes = %v", s.BlockBytes)

@@ -7,41 +7,27 @@ import (
 	"t3sim/internal/sim"
 )
 
-// Ring is a bidirectional ring of N devices. ForwardLink(i) carries traffic
-// from device i to device (i+1) mod N; BackwardLink(i) from device i to
-// device (i-1+N) mod N. Ring collectives in this repository use the forward
-// direction.
+// Ring is a bidirectional ring of N devices — the Table 1 network, now a
+// view over the general Topology graph (RingTopo). ForwardLink(i) carries
+// traffic from device i to device (i+1) mod N; BackwardLink(i) from device i
+// to device (i-1+N) mod N. Ring collectives in this repository use the
+// forward direction. The ring's links are the topology's edges in canonical
+// order (forward then backward per device), so cluster mailbox registration —
+// and with it the deterministic drain order — is unchanged from the
+// pre-topology implementation.
 type Ring struct {
-	n        int
-	cfg      Config
-	forward  []*Link
-	backward []*Link
+	topo *Topology
+	n    int
+	cfg  Config
 }
 
 // NewRing builds a ring of n >= 2 devices on eng.
 func NewRing(eng *sim.Engine, n int, cfg Config) (*Ring, error) {
-	if n < 2 {
-		return nil, fmt.Errorf("interconnect: ring needs >= 2 devices, got %d", n)
-	}
-	if err := cfg.Validate(); err != nil {
+	t, err := RingTopo(n, cfg).Build(eng)
+	if err != nil {
 		return nil, err
 	}
-	r := &Ring{n: n, cfg: cfg}
-	r.forward = make([]*Link, n)
-	r.backward = make([]*Link, n)
-	for i := 0; i < n; i++ {
-		fl, err := NewLink(eng, cfg)
-		if err != nil {
-			return nil, err
-		}
-		bl, err := NewLink(eng, cfg)
-		if err != nil {
-			return nil, err
-		}
-		r.forward[i] = fl
-		r.backward[i] = bl
-	}
-	return r, nil
+	return &Ring{topo: t, n: n, cfg: cfg}, nil
 }
 
 // NewClusterRing builds a ring whose devices live on the per-device engines
@@ -54,35 +40,24 @@ func NewClusterRing(cl *sim.Cluster, cfg Config) (*Ring, error) {
 	if n < 2 {
 		return nil, fmt.Errorf("interconnect: ring needs >= 2 devices, got %d", n)
 	}
-	if err := cfg.Validate(); err != nil {
+	t, err := RingTopo(n, cfg).BuildCluster(cl)
+	if err != nil {
 		return nil, err
 	}
-	r := &Ring{n: n, cfg: cfg}
-	r.forward = make([]*Link, n)
-	r.backward = make([]*Link, n)
-	for i := 0; i < n; i++ {
-		fl, err := NewClusterLink(cl, i, (i+1)%n, cfg)
-		if err != nil {
-			return nil, err
-		}
-		bl, err := NewClusterLink(cl, i, (i-1+n)%n, cfg)
-		if err != nil {
-			return nil, err
-		}
-		r.forward[i] = fl
-		r.backward[i] = bl
-	}
-	return r, nil
+	return &Ring{topo: t, n: n, cfg: cfg}, nil
 }
 
 // AttachMetrics registers every ring link's instruments on m: forward links
 // as "fwd<i>", backward links as "bwd<i>" (see Link.AttachMetrics).
 func (r *Ring) AttachMetrics(m metrics.Sink) {
 	for i := 0; i < r.n; i++ {
-		r.forward[i].AttachMetrics(m, fmt.Sprintf("fwd%d", i))
-		r.backward[i].AttachMetrics(m, fmt.Sprintf("bwd%d", i))
+		r.ForwardLink(i).AttachMetrics(m, fmt.Sprintf("fwd%d", i))
+		r.BackwardLink(i).AttachMetrics(m, fmt.Sprintf("bwd%d", i))
 	}
 }
+
+// Topo returns the underlying topology graph.
+func (r *Ring) Topo() *Topology { return r.topo }
 
 // Devices returns the number of devices on the ring.
 func (r *Ring) Devices() int { return r.n }
@@ -96,8 +71,9 @@ func (r *Ring) Next(i int) int { return (i + 1) % r.n }
 // Prev returns the backward neighbor of device i.
 func (r *Ring) Prev(i int) int { return (i - 1 + r.n) % r.n }
 
-// ForwardLink returns the link from device i to Next(i).
-func (r *Ring) ForwardLink(i int) *Link { return r.forward[i] }
+// ForwardLink returns the link from device i to Next(i) — topology edge 2i.
+func (r *Ring) ForwardLink(i int) *Link { return r.topo.LinkAt(2 * i) }
 
-// BackwardLink returns the link from device i to Prev(i).
-func (r *Ring) BackwardLink(i int) *Link { return r.backward[i] }
+// BackwardLink returns the link from device i to Prev(i) — topology edge
+// 2i+1.
+func (r *Ring) BackwardLink(i int) *Link { return r.topo.LinkAt(2*i + 1) }

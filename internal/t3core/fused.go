@@ -48,6 +48,17 @@ type FusedOptions struct {
 	Memory  memory.Config
 	Link    interconnect.Config
 	Tracker TrackerConfig
+	// Topo, when non-zero, generalizes the interconnect of the explicit
+	// multi-device run (RunFusedGEMMRSMultiDevice) from the implicit
+	// bidirectional ring to an arbitrary topology graph — ring, 2D torus,
+	// fully-connected switch, or hierarchical two-level network. Every
+	// neighbor send is routed over the graph's deterministic shortest
+	// paths, store-and-forwarding at intermediate hops, and the cluster
+	// path's conservative lookahead becomes the topology's minimum link
+	// latency. The zero spec is the legacy ring, byte-identical to the
+	// pre-topology simulator. Single-GPU mirror runs model the ring
+	// implicitly and reject a non-ring Topo.
+	Topo interconnect.TopoSpec
 	// Devices is the tensor-parallel degree (ring size).
 	Devices int
 	// Grid is the (already K-sliced) producer GEMM.
@@ -152,6 +163,12 @@ func (o FusedOptions) Validate() error {
 	}
 	if o.Collective != RingReduceScatter && o.Collective != DirectReduceScatter {
 		return fmt.Errorf("t3sim: timing model supports ring and direct reduce-scatter, not %v", o.Collective)
+	}
+	if err := o.validateTopo(); err != nil {
+		return err
+	}
+	if !o.Topo.IsZero() && o.Topo.Kind != interconnect.TopoRing {
+		return fmt.Errorf("t3core: single-GPU mirror runs model the ring implicitly; use RunFusedGEMMRSMultiDevice for a %v topology", o.Topo.Kind)
 	}
 	tiles := o.Grid.NumWFs() / o.Grid.Tiling.SplitK
 	if tiles < o.Devices {

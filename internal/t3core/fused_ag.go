@@ -32,6 +32,9 @@ func RunFusedGEMMAG(o FusedOptions) (FusedResult, error) {
 	if err := validateFusedCommon(o); err != nil {
 		return FusedResult{}, err
 	}
+	if !o.Topo.IsZero() && o.Topo.Kind != interconnect.TopoRing {
+		return FusedResult{}, fmt.Errorf("t3core: single-GPU mirror runs model the ring implicitly; got a %v topology", o.Topo.Kind)
+	}
 	r := &agRun{o: o, eng: sim.NewEngine()}
 	return r.run()
 }
@@ -46,6 +49,9 @@ func RunFusedGEMMAllToAll(o FusedOptions) (FusedResult, error) {
 	}
 	if err := validateFusedCommon(o); err != nil {
 		return FusedResult{}, err
+	}
+	if !o.Topo.IsZero() && o.Topo.Kind != interconnect.TopoRing {
+		return FusedResult{}, fmt.Errorf("t3core: single-GPU mirror runs model the ring implicitly; got a %v topology", o.Topo.Kind)
 	}
 	r := &a2aRun{o: o, eng: sim.NewEngine()}
 	return r.run()
@@ -80,6 +86,21 @@ func validateFusedCommon(o FusedOptions) error {
 	tiles := o.Grid.NumWFs()
 	if tiles < o.Devices {
 		return fmt.Errorf("t3core: %d wavefront tiles cannot chunk across %d devices", tiles, o.Devices)
+	}
+	return o.validateTopo()
+}
+
+// validateTopo checks the optional topology spec against the run's shape.
+// The zero spec (the legacy-ring sentinel) is always valid.
+func (o FusedOptions) validateTopo() error {
+	if o.Topo.IsZero() {
+		return nil
+	}
+	if err := o.Topo.Validate(); err != nil {
+		return err
+	}
+	if o.Topo.Devices != o.Devices {
+		return fmt.Errorf("t3core: %d-device topology for a %d-device run", o.Topo.Devices, o.Devices)
 	}
 	return nil
 }

@@ -77,9 +77,10 @@ type multiDevice struct {
 // after setup, so the cluster's worker goroutines share it freely.
 type multiRun struct {
 	o    FusedOptions
-	eng  *sim.Engine  // sequential mode: the one shared engine (nil in cluster mode)
-	cl   *sim.Cluster // cluster mode: one engine per device (nil in sequential mode)
-	ring *interconnect.Ring
+	eng  *sim.Engine            // sequential mode: the one shared engine (nil in cluster mode)
+	cl   *sim.Cluster           // cluster mode: one engine per device (nil in sequential mode)
+	ring *interconnect.Ring     // legacy interconnect (zero o.Topo)
+	topo *interconnect.Topology // graph interconnect (non-zero o.Topo)
 	devs []*multiDevice
 
 	tileBytes  units.Bytes
@@ -97,14 +98,31 @@ func (r *multiRun) engOf(d int) *sim.Engine {
 	return r.eng
 }
 
+// send moves n bytes from src to dst over the run's interconnect: the
+// topology routes over its deterministic shortest paths (store-and-forward
+// at intermediate hops); the legacy ring path is the src forward link, whose
+// only neighbor is dst by construction.
+func (r *multiRun) send(src, dst int, n units.Bytes, onDelivered sim.Handler) {
+	if r.topo != nil {
+		r.topo.Send(src, dst, n, onDelivered)
+		return
+	}
+	r.ring.ForwardLink(src).Send(n, onDelivered)
+}
+
 // RunFusedGEMMRSMultiDevice executes the fused GEMM→ring-reduce-scatter
 // with every device simulated explicitly: per-device memory systems,
 // trackers and DMA tables, staggered production orders (§4.4), and real
-// cross-device deliveries over the ring — no mirroring.
+// cross-device deliveries over the interconnect — no mirroring. A non-zero
+// o.Topo replaces the implicit ring with an arbitrary topology graph: the
+// ring schedule's neighbor sends are routed over the graph's deterministic
+// shortest paths (store-and-forwarding at intermediate hops), which is how
+// the topology sweep asks whether tracker-triggered overlap still wins on a
+// torus, a switch, or a two-level hierarchy.
 //
-// With o.ParWorkers > 0 (and a positive link latency) each device is
+// With o.ParWorkers > 0 (and a positive minimum link latency) each device is
 // simulated on its own engine inside a sim.Cluster, advanced in conservative
-// windows one link latency wide; the result is byte-identical to the
+// windows one lookahead wide; the result is byte-identical to the
 // sequential run at every worker count.
 func RunFusedGEMMRSMultiDevice(o FusedOptions) (MultiDeviceResult, error) {
 	if o.Collective != RingReduceScatter {
@@ -120,20 +138,38 @@ func RunFusedGEMMRSMultiDevice(o FusedOptions) (MultiDeviceResult, error) {
 	n := o.Devices
 	// A zero-latency link admits no conservative window (the lookahead must
 	// be positive), so such configurations fall back to the shared engine.
-	parallel := o.ParWorkers > 0 && o.Link.LinkLatency > 0
+	// With a topology the lookahead is the slowest-case-safe minimum link
+	// latency over the whole graph.
+	minLat := o.Link.LinkLatency
+	if !o.Topo.IsZero() {
+		minLat = o.Topo.MinLinkLatency()
+	}
+	parallel := o.ParWorkers > 0 && minLat > 0
 	var ring *interconnect.Ring
 	var err error
-	if parallel {
-		r.cl = sim.NewCluster(n, o.Link.LinkLatency)
+	switch {
+	case !o.Topo.IsZero() && parallel:
+		r.cl = sim.NewCluster(n, minLat)
+		r.cl.AttachChecker(o.Check)
+		r.topo, err = o.Topo.BuildCluster(r.cl)
+	case !o.Topo.IsZero():
+		r.eng = sim.NewEngine()
+		r.eng.AttachChecker(o.Check)
+		r.topo, err = o.Topo.Build(r.eng)
+	case parallel:
+		r.cl = sim.NewCluster(n, minLat)
 		r.cl.AttachChecker(o.Check)
 		ring, err = interconnect.NewClusterRing(r.cl, o.Link)
-	} else {
+	default:
 		r.eng = sim.NewEngine()
 		r.eng.AttachChecker(o.Check)
 		ring, err = interconnect.NewRing(r.eng, n, o.Link)
 	}
 	if err != nil {
 		return MultiDeviceResult{}, err
+	}
+	if r.topo != nil {
+		r.topo.AttachChecker(o.Check)
 	}
 	r.tileBytes = o.Grid.WFTileBytes()
 	r.totalTiles = o.Grid.NumWFs()
@@ -145,7 +181,11 @@ func RunFusedGEMMRSMultiDevice(o FusedOptions) (MultiDeviceResult, error) {
 	r.chunkStart[n] = r.totalTiles
 
 	if o.Metrics != nil {
-		ring.AttachMetrics(o.Metrics)
+		if r.topo != nil {
+			r.topo.AttachMetrics(o.Metrics)
+		} else {
+			ring.AttachMetrics(o.Metrics)
+		}
 	}
 	r.ring = ring
 
@@ -213,13 +253,20 @@ func RunFusedGEMMRSMultiDevice(o FusedOptions) (MultiDeviceResult, error) {
 				res.DRAM.Requests[k][s] += cnt.Requests[k][s]
 			}
 		}
-		res.LinkBytes += ring.ForwardLink(d).SentBytes()
+		if r.topo == nil {
+			res.LinkBytes += ring.ForwardLink(d).SentBytes()
+		}
 		if ml := md.trk.MaxLive(); ml > res.TrackerMaxLive {
 			res.TrackerMaxLive = ml
 		}
 		if md.collectiveDone > res.Done {
 			res.Done = md.collectiveDone
 		}
+	}
+	if r.topo != nil {
+		// Transit hops count once per traversed link, like the per-device
+		// forward-link counters would on the ring.
+		res.LinkBytes = r.topo.SentBytes()
 	}
 	return *res, nil
 }
@@ -342,10 +389,10 @@ func (md *multiDevice) writeStage(_, wgs int, _ units.Bytes, onDone sim.Handler)
 		tile := j.tile
 		switch j.pm.Treatment {
 		case TreatRemote:
-			// Peer store: straight over the forward link into the next
-			// device's memory as an NMC update.
+			// Peer store: over the interconnect into the next device's
+			// memory as an NMC update.
 			dest := r.devs[j.pm.Dest]
-			r.ring.ForwardLink(md.id).Send(r.tileBytes, func() {
+			r.send(md.id, j.pm.Dest, r.tileBytes, func() {
 				dest.stageIncoming(tile)
 			})
 		default:
@@ -385,7 +432,7 @@ func (md *multiDevice) onReady(id TileID) {
 	dest := r.devs[cmd.DestDevice]
 	md.mem.Transfer(memory.Read, memory.StreamComm, cmd.Bytes,
 		memory.Tag{WG: id.WG, WF: id.WF}, func() {
-			r.ring.ForwardLink(md.id).Send(cmd.Bytes, func() {
+			r.send(md.id, cmd.DestDevice, cmd.Bytes, func() {
 				dest.stageIncoming(tile)
 			})
 		})

@@ -405,3 +405,92 @@ func NewIterationModel(m Model, tp int, phase ExecutionPhase, hw HWModel) (*Iter
 
 // DefaultHW mirrors Table 1 for the analytical model.
 func DefaultHW() HWModel { return transformer.DefaultHW() }
+
+// Topology-general interconnect (beyond the implicit Table 1 ring).
+type (
+	// TopoSpec declares an interconnect graph — ring, 2D torus,
+	// fully-connected switch, or two-level hierarchy. Its zero value means
+	// the legacy implicit ring (byte-identical to pre-topology runs); set
+	// FusedOptions.Topo or ExperimentSetup.Topo to route over a graph.
+	TopoSpec = interconnect.TopoSpec
+	// TopoKind names a topology family.
+	TopoKind = interconnect.TopoKind
+	// Topology is a built graph: timed links on an engine (or a parallel
+	// cluster) plus deterministic shortest-path routing and
+	// store-and-forward Send.
+	Topology = interconnect.Topology
+	// CollectiveAlgorithm names a topology-general collective schedule.
+	CollectiveAlgorithm = collective.Algorithm
+	// CollectiveOp is the operation a schedule performs.
+	CollectiveOp = collective.Op
+)
+
+// Topology families.
+const (
+	TopoRing         = interconnect.TopoRing
+	TopoTorus        = interconnect.TopoTorus
+	TopoSwitch       = interconnect.TopoSwitch
+	TopoHierarchical = interconnect.TopoHierarchical
+)
+
+// Topology-general collective algorithms and operations.
+const (
+	// AlgoRing is the bandwidth-optimal N−1-round rotation.
+	AlgoRing = collective.AlgoRing
+	// AlgoTree is the binomial reduce-to-root + scatter tree.
+	AlgoTree = collective.AlgoTree
+	// AlgoHalvingDoubling is recursive halving/doubling (power-of-two only).
+	AlgoHalvingDoubling = collective.AlgoHalvingDoubling
+	// AlgoDirect sends every chunk straight to its owner in one round.
+	AlgoDirect = collective.AlgoDirect
+
+	ReduceScatterOp = collective.ReduceScatterOp
+	AllGatherOp     = collective.AllGatherOp
+	AllReduceOp     = collective.AllReduceOp
+)
+
+// RingTopo declares an n-device bidirectional ring.
+func RingTopo(n int, link LinkConfig) TopoSpec { return interconnect.RingTopo(n, link) }
+
+// TorusTopo declares a rows×cols 2D torus with wraparound in both
+// dimensions.
+func TorusTopo(rows, cols int, link LinkConfig) TopoSpec {
+	return interconnect.TorusTopo(rows, cols, link)
+}
+
+// SwitchTopo declares an n-device fully-connected (switched) topology.
+func SwitchTopo(n int, link LinkConfig) TopoSpec { return interconnect.SwitchTopo(n, link) }
+
+// HierarchicalTopo declares a two-level hierarchy: nodes rings of perNode
+// devices on intra links, node leaders ringed by inter links.
+func HierarchicalTopo(nodes, perNode int, intra, inter LinkConfig) TopoSpec {
+	return interconnect.HierarchicalTopo(nodes, perNode, intra, inter)
+}
+
+// SelectCollectiveAlgorithm picks the fastest candidate algorithm for an
+// all-reduce of the given size on a topology — the Tessera-style
+// size/topology policy, realized as an analytic argmin.
+func SelectCollectiveAlgorithm(bytes Bytes, spec TopoSpec) (CollectiveAlgorithm, error) {
+	return collective.SelectAlgorithm(bytes, spec)
+}
+
+// CandidateCollectiveAlgorithms lists the algorithms runnable on a topology
+// (halving-doubling requires a power-of-two device count).
+func CandidateCollectiveAlgorithms(spec TopoSpec) []CollectiveAlgorithm {
+	return collective.CandidateAlgorithms(spec)
+}
+
+// AnalyticTopoTimeBounds brackets a graph collective's timed-DES completion
+// between a work-conserving per-link lower bound and a store-and-forward
+// upper bound; the bounds coincide on single-hop routes.
+func AnalyticTopoTimeBounds(algo CollectiveAlgorithm, op CollectiveOp, spec TopoSpec,
+	o AnalyticCollectiveOptions) (lo, hi Time, err error) {
+	return collective.AnalyticTopoTimeBounds(algo, op, spec, o)
+}
+
+// AnalyticTopoAllReduceTime is the lower-bound all-reduce prediction the
+// selection policy minimizes.
+func AnalyticTopoAllReduceTime(algo CollectiveAlgorithm, spec TopoSpec,
+	o AnalyticCollectiveOptions) (Time, error) {
+	return collective.AnalyticTopoAllReduceTime(algo, spec, o)
+}
