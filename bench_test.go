@@ -412,6 +412,90 @@ func BenchmarkMultiDevice64Workers2(b *testing.B)   { runMultiDevice64Bench(b, 2
 func BenchmarkMultiDevice64Workers4(b *testing.B)   { runMultiDevice64Bench(b, 4) }
 func BenchmarkMultiDevice64Workers8(b *testing.B)   { runMultiDevice64Bench(b, 8) }
 
+// runMultiDeviceTopoBench is the sync-mode × topology scaling family: one
+// explicit run per iteration, routed over the named graph at the given
+// device count, with the cluster coordinator forced into a specific
+// synchronization mode. Reports windows/op, window-ps/op and nullmsgs/op
+// (promise refreshes — the appointment coordinator's traffic), the numbers
+// scripts/bench.sh records in BENCH_8.json. Results are byte-identical to
+// the sequential path in every mode; only coordination cost differs.
+func runMultiDeviceTopoBench(b *testing.B, topo string, devices, workers int, mode t3sim.ClusterSyncMode) {
+	if testing.Short() {
+		b.Skip("topology scaling benchmarks are long; run without -short")
+	}
+	grid, err := t3sim.NewGrid(
+		t3sim.GEMMShape{M: 2048, N: 2048, K: 512, ElemBytes: 2}, t3sim.DefaultTiling())
+	if err != nil {
+		b.Fatal(err)
+	}
+	link := t3sim.DefaultLinkConfig()
+	spec, err := t3sim.TopoSpecFor(topo, devices, link)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := t3sim.FusedOptions{
+		GPU:         t3sim.DefaultGPUConfig(),
+		Memory:      t3sim.DefaultMemoryConfig(),
+		Link:        spec.Link,
+		Topo:        spec,
+		Tracker:     t3sim.TrackerConfig{Sets: 256, Ways: 64, MaxWFsPerWG: 8},
+		Devices:     devices,
+		Grid:        grid,
+		Collective:  t3sim.RingReduceScatterCollective,
+		Arbitration: t3sim.ArbRoundRobin,
+		ParWorkers:  workers,
+		SyncMode:    mode,
+	}
+	var st t3sim.ClusterStats
+	opts.ClusterStats = &st
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := t3sim.RunFusedGEMMRSMultiDevice(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if workers > 0 && st.Windows > 0 {
+		b.ReportMetric(float64(st.Windows), "windows/op")
+		b.ReportMetric(float64(st.AvgWindowWidth()), "window-ps/op")
+		b.ReportMetric(float64(st.NullMessages), "nullmsgs/op")
+	}
+}
+
+func BenchmarkMultiDevice64TorusWindowed4(b *testing.B) {
+	runMultiDeviceTopoBench(b, "torus", 64, 4, t3sim.SyncWindowed)
+}
+func BenchmarkMultiDevice64TorusAppointment4(b *testing.B) {
+	runMultiDeviceTopoBench(b, "torus", 64, 4, t3sim.SyncAppointment)
+}
+func BenchmarkMultiDevice64HierWindowed4(b *testing.B) {
+	runMultiDeviceTopoBench(b, "hier", 64, 4, t3sim.SyncWindowed)
+}
+func BenchmarkMultiDevice64HierAppointment4(b *testing.B) {
+	runMultiDeviceTopoBench(b, "hier", 64, 4, t3sim.SyncAppointment)
+}
+
+func BenchmarkMultiDevice256RingWindowed4(b *testing.B) {
+	runMultiDeviceTopoBench(b, "ring", 256, 4, t3sim.SyncWindowed)
+}
+func BenchmarkMultiDevice256RingAppointment4(b *testing.B) {
+	runMultiDeviceTopoBench(b, "ring", 256, 4, t3sim.SyncAppointment)
+}
+func BenchmarkMultiDevice256TorusWindowed4(b *testing.B) {
+	runMultiDeviceTopoBench(b, "torus", 256, 4, t3sim.SyncWindowed)
+}
+func BenchmarkMultiDevice256TorusAppointment4(b *testing.B) {
+	runMultiDeviceTopoBench(b, "torus", 256, 4, t3sim.SyncAppointment)
+}
+func BenchmarkMultiDevice256HierWindowed4(b *testing.B) {
+	runMultiDeviceTopoBench(b, "hier", 256, 4, t3sim.SyncWindowed)
+}
+func BenchmarkMultiDevice256HierAppointment4(b *testing.B) {
+	runMultiDeviceTopoBench(b, "hier", 256, 4, t3sim.SyncAppointment)
+}
+func BenchmarkMultiDevice256Sequential(b *testing.B) {
+	runMultiDeviceTopoBench(b, "ring", 256, 0, t3sim.SyncAuto)
+}
+
 func BenchmarkFunctionalFusedRS(b *testing.B) {
 	data := make([][]float32, 8)
 	for d := range data {

@@ -120,6 +120,9 @@ func main() {
 	par := flag.Int("par", 0,
 		"worker goroutines per explicit multi-device simulation (conservative parallel DES); "+
 			"0 = sequential single-engine path; output is byte-identical at any -par")
+	syncMode := flag.String("sync", "auto",
+		"cluster synchronization for -par runs (auto|windowed|appointment); "+
+			"auto picks from topology edge density; output is byte-identical in every mode")
 	checkRuns := flag.Bool("check", false,
 		"attach the simulation invariant checker to every run; violations fail the process")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -257,6 +260,13 @@ func main() {
 	}
 	setup.Check = checker
 	setup.MultiDeviceWorkers = *par
+	mode, err := t3sim.ParseSyncMode(*syncMode)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "t3sim: -sync: %v\n", err)
+		exitCode = 2
+		return
+	}
+	setup.SyncMode = mode
 	runner := t3sim.NewExperimentRunner(setup, *jobs)
 	emit := func(name string, o outcome) bool {
 		if o.err != nil {

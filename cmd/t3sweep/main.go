@@ -12,6 +12,14 @@
 // gemm_us, collective_done_us, done_us, speedup_vs_sequential, dram_mib,
 // link_mib, tracker_high_water.
 //
+// Parallel multi-device rows (-collective multi -par N) are each followed by
+// a `#`-prefixed comment line reporting the cluster scheduler's coordination
+// stats (sync mode, rounds, average window width, null messages, stall
+// time), so scaling regressions are visible without a profiler. The data
+// rows themselves are byte-identical at any -par/-sync; only the comment
+// reflects the coordinator. -sync picks the synchronization strategy
+// (auto|windowed|appointment).
+//
 // -serve switches to the serving capacity sweep (internal/serving): one CSV
 // row per (scheme, offered QPS) operating point with TTFT/TPOT percentiles,
 // T3 overlap off vs on, plus a `#` summary line with each scheme's max QPS
@@ -83,6 +91,9 @@ func run() (code int) {
 		par = flag.Int("par", 0,
 			"worker goroutines per explicit multi-device simulation (-collective multi); "+
 				"0 = sequential single-engine path; output is byte-identical at any -par")
+		syncFlag = flag.String("sync", "auto",
+			"cluster synchronization for -par runs (auto|windowed|appointment); "+
+				"auto picks from topology edge density; rows are byte-identical in every mode")
 		checkRuns = flag.Bool("check", false,
 			"attach the simulation invariant checker to every configuration; violations fail the process")
 		timeline = flag.String("timeline", "",
@@ -118,6 +129,10 @@ func run() (code int) {
 	}
 
 	arbitration, err := parseArb(*arb)
+	if err != nil {
+		return fail(err)
+	}
+	syncMode, err := t3sim.ParseSyncMode(*syncFlag)
 	if err != nil {
 		return fail(err)
 	}
@@ -216,7 +231,7 @@ func run() (code int) {
 					sink = reg.Scope(fmt.Sprintf("cfg%03d-dev%d-link%g-cu%d",
 						i, c.devices, c.link, c.cus))
 				}
-				row, err := runOne(grid, c.devices, c.link, c.cus, arbitration, collective, *arb, *coll, *topo, *par, sink, checker)
+				row, err := runOne(grid, c.devices, c.link, c.cus, arbitration, collective, *arb, *coll, *topo, *par, syncMode, sink, checker)
 				slots[i] <- rowResult{row: row, err: err}
 			}
 		}()
@@ -364,7 +379,7 @@ func writeExport(path string, write func(io.Writer) error) error {
 // audits the run's conservation/ordering/bound invariants.
 func runOne(grid t3sim.GEMMGrid, devices int, linkGBps float64, cus int,
 	arb t3sim.Arbitration, coll t3sim.FusedCollective, arbName, collName, topoName string,
-	par int, sink t3sim.MetricsSink, checker *t3sim.Checker) (string, error) {
+	par int, syncMode t3sim.ClusterSyncMode, sink t3sim.MetricsSink, checker *t3sim.Checker) (string, error) {
 	gpu := t3sim.DefaultGPUConfig()
 	gpu.CUs = cus
 	link := t3sim.DefaultLinkConfig()
@@ -392,16 +407,20 @@ func runOne(grid t3sim.GEMMGrid, devices int, linkGBps float64, cus int,
 		Metrics:     sink,
 		Check:       checker,
 		ParWorkers:  par,
+		SyncMode:    syncMode,
 	}
 	var (
-		res t3sim.FusedResult
-		err error
+		res     t3sim.FusedResult
+		err     error
+		cluster string
 	)
 	switch {
 	case collName == "multi":
 		// Explicit N-device simulation (no mirroring); -par picks the
-		// conservative-parallel execution strategy, output is identical
-		// either way.
+		// conservative-parallel execution strategy and -sync the cluster
+		// coordinator, output is identical either way.
+		var st t3sim.ClusterStats
+		opts.ClusterStats = &st
 		var multi t3sim.MultiDeviceResult
 		multi, err = t3sim.RunFusedGEMMRSMultiDevice(opts)
 		if err == nil {
@@ -412,6 +431,13 @@ func runOne(grid t3sim.GEMMGrid, devices int, linkGBps float64, cus int,
 				DRAM:           multi.DRAM,
 				LinkBytes:      multi.LinkBytes,
 				TrackerMaxLive: multi.TrackerMaxLive,
+			}
+			if st.Windows > 0 {
+				// The comment row surfaces the coordination-layer stats
+				// without touching the CSV data contract.
+				cluster = fmt.Sprintf("# cluster devices=%d sync=%s windows=%d engine_windows=%d avg_window_ps=%d null_msgs=%d stall_windows=%d stall_ps=%d\n",
+					devices, st.Mode, st.Windows, st.EngineWindows, int64(st.AvgWindowWidth()),
+					st.NullMessages, st.StalledEngineWindows, int64(st.StallTime))
 			}
 		}
 	case coll == t3sim.RingAllGatherCollective:
@@ -433,7 +459,7 @@ func runOne(grid t3sim.GEMMGrid, devices int, linkGBps float64, cus int,
 		res.GEMMDone.Micros(), res.CollectiveDone.Micros(), res.Done.Micros(),
 		float64(seq)/float64(res.Done),
 		res.DRAM.TotalBytes().MiBf(), res.LinkBytes.MiBf(),
-		res.TrackerMaxLive), nil
+		res.TrackerMaxLive) + cluster, nil
 }
 
 // sequentialWire estimates the serialized collective's wire time.

@@ -289,6 +289,22 @@ func (la *Lookahead) ObserveLink(windowStart, minLatency, deliverAt units.Time) 
 	}
 }
 
+// ObservePromise checks one drained message against its edge's appointment:
+// the per-edge promise (bound of the sending engine plus the link latency)
+// the scheduler published before the receiver's last window. The receiver's
+// horizon was derived from exactly this value, so a delivery timestamped
+// before it proves the sender broke its appointment — the receiver may
+// already have executed events the message should have interleaved with.
+func (la *Lookahead) ObservePromise(promised, deliverAt units.Time) {
+	if la == nil {
+		return
+	}
+	if deliverAt < promised {
+		la.c.Violationf(deliverAt, la.path, RuleOrdering+"/appointment",
+			"message delivered at %v but the link promised nothing before %v", deliverAt, promised)
+	}
+}
+
 // CrossLedger verifies a conservation law that spans engines running on
 // different goroutines — ring bytes injected by every sender equal bytes
 // staged by every receiver. Unlike Ledger (a single-writer running balance),

@@ -120,6 +120,9 @@ var catalogue = []CatalogueEntry{
 	{"multi64", "64-device explicit scale run (Fig-20 regime, ROADMAP item 3)", func(r *Runner) (Renderable, error) {
 		return wrapResult(Multi64(r.setup))
 	}},
+	{"multi256", "256-device explicit scale run: ring/torus/hierarchy (ROADMAP item 3)", func(r *Runner) (Renderable, error) {
+		return wrapResult(Multi256(r.setup))
+	}},
 	{"coarse-overlap", "coarse-grained DP contention study (§3.2.2/§7.2)", func(r *Runner) (Renderable, error) {
 		return wrapResult(CoarseOverlap(r.setup))
 	}},

@@ -83,7 +83,11 @@ var hashPolicies = map[reflect.Type]map[string]fieldPolicy{
 		// ParWorkers only picks the multi-device execution strategy
 		// (shared engine vs conservative cluster); results are
 		// byte-identical at every value, so it must not split the key.
-		"ParWorkers":    policySkip,
+		"ParWorkers": policySkip,
+		// SyncMode picks the cluster coordinator (windowed vs appointment);
+		// both compute the same fixpoint, so like ParWorkers it is
+		// byte-identity-preserving and must not split the key.
+		"SyncMode":      policySkip,
 		"Observer":      policyBarrier,
 		"CustomArbiter": policyBarrier,
 		"Events":        policyBarrier,

@@ -58,6 +58,7 @@ func MirrorValidation(setup Setup) (*MirrorResult, error) {
 			return nil, err
 		}
 		opts.ParWorkers = setup.MultiDeviceWorkers
+		opts.SyncMode = setup.SyncMode
 		multi, err := t3core.RunFusedGEMMRSMultiDevice(opts)
 		if err != nil {
 			return nil, err

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"t3sim/internal/check"
+	"t3sim/internal/sim"
+)
+
+// TestMulti256RendersAllTopologies is the cheap smoke: one sequential run
+// must produce a row per topology variant with self-consistent times.
+func TestMulti256RendersAllTopologies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("256-device run is long; run without -short")
+	}
+	setup := DefaultSetup()
+	chk := check.New()
+	setup.Check = chk
+	res, err := Multi256(setup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("got %d rows, want ring/torus/hier", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.GEMMLast <= 0 || row.Done < row.CollectiveLast || row.CollectiveFirst < row.GEMMFirst {
+			t.Errorf("%s: implausible times %+v", row.Topo, row)
+		}
+		if row.LinkBytes == 0 || row.DRAMBytes == 0 {
+			t.Errorf("%s: missing traffic counters %+v", row.Topo, row)
+		}
+	}
+	if !chk.Ok() {
+		t.Errorf("violations: %v", chk.Violations())
+	}
+	out := res.Render()
+	for _, want := range []string{"ring-256", "torus-16x16", "hier-4x64"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestMulti256ByteIdentity is the ISSUE's acceptance sweep: the 256-device
+// result — all three topology variants — must DeepEqual the sequential
+// reference at workers 1/2/4/8 in both sync modes. This is the scale oracle
+// for the appointment coordinator; skipped under -short (it simulates 256
+// devices nine times over).
+func TestMulti256ByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("256-device equivalence sweep is long; run without -short")
+	}
+	setup := DefaultSetup()
+	want, err := Multi256(setup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []sim.ClusterSyncMode{sim.SyncWindowed, sim.SyncAppointment} {
+		for _, workers := range []int{1, 2, 4, 8} {
+			s := DefaultSetup()
+			s.MultiDeviceWorkers = workers
+			s.SyncMode = mode
+			chk := check.New()
+			s.Check = chk
+			got, err := Multi256(s)
+			if err != nil {
+				t.Fatalf("mode=%v workers=%d: %v", mode, workers, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("mode=%v workers=%d: 256-device result diverged from sequential\n got: %+v\nwant: %+v",
+					mode, workers, got, want)
+			}
+			if !chk.Ok() {
+				t.Errorf("mode=%v workers=%d: violations: %v", mode, workers, chk.Violations())
+			}
+		}
+	}
+}

@@ -73,6 +73,7 @@ func Multi64(setup Setup) (*Multi64Result, error) {
 		return nil, err
 	}
 	opts.ParWorkers = setup.MultiDeviceWorkers
+	opts.SyncMode = setup.SyncMode
 	multi, err := t3core.RunFusedGEMMRSMultiDevice(opts)
 	if err != nil {
 		return nil, err

@@ -217,6 +217,7 @@ func timedTopoCollective(setup Setup, spec interconnect.TopoSpec, algo collectiv
 		return done, nil
 	}
 	cl := sim.NewCluster(spec.Devices, spec.MinLinkLatency())
+	cl.SetSyncMode(setup.SyncMode)
 	for _, e := range cl.Engines() {
 		e.AttachChecker(setup.Check)
 	}
@@ -318,6 +319,7 @@ func TopoSweep(setup Setup) (*TopoSweepResult, error) {
 			Arbitration: t3core.ArbMCA,
 			Check:       setup.Check,
 			ParWorkers:  setup.MultiDeviceWorkers,
+			SyncMode:    setup.SyncMode,
 		}
 		if setup.Metrics != nil {
 			opts.Metrics = setup.Metrics.Scope("topo-sweep/fused-" + topoName(spec))

@@ -150,6 +150,7 @@ func RunFusedGEMMRSMultiDevice(o FusedOptions) (MultiDeviceResult, error) {
 	switch {
 	case !o.Topo.IsZero() && parallel:
 		r.cl = sim.NewCluster(n, minLat)
+		r.cl.SetSyncMode(o.SyncMode)
 		r.cl.AttachChecker(o.Check)
 		r.topo, err = o.Topo.BuildCluster(r.cl)
 	case !o.Topo.IsZero():
@@ -158,6 +159,7 @@ func RunFusedGEMMRSMultiDevice(o FusedOptions) (MultiDeviceResult, error) {
 		r.topo, err = o.Topo.Build(r.eng)
 	case parallel:
 		r.cl = sim.NewCluster(n, minLat)
+		r.cl.SetSyncMode(o.SyncMode)
 		r.cl.AttachChecker(o.Check)
 		ring, err = interconnect.NewClusterRing(r.cl, o.Link)
 	default:
@@ -221,6 +223,21 @@ func RunFusedGEMMRSMultiDevice(o FusedOptions) (MultiDeviceResult, error) {
 		r.cl.Run(o.ParWorkers)
 		if o.ClusterStats != nil {
 			*o.ClusterStats = r.cl.Stats()
+		}
+		if o.Metrics != nil {
+			// Coordination-layer summary for the -metrics JSON: how the
+			// cluster synchronized, not what the model computed. Values are
+			// identical at every worker count; NullMessages is zero in
+			// windowed mode by definition.
+			st := r.cl.Stats()
+			cs := o.Metrics.Scope("cluster")
+			cs.Counter("windows").Add(int64(st.Windows))
+			cs.Counter("engine_windows").Add(int64(st.EngineWindows))
+			cs.Counter("advance_ps").Add(int64(st.Advance))
+			cs.Counter("null_messages").Add(int64(st.NullMessages))
+			cs.Counter("stalled_engine_windows").Add(int64(st.StalledEngineWindows))
+			cs.Counter("stall_ps").Add(int64(st.StallTime))
+			cs.Counter("sync_mode").Add(int64(st.Mode))
 		}
 	} else {
 		r.eng.Run()

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # bench.sh — run the benchmark suite and the full experiment catalogue, and
-# emit a machine-readable snapshot (BENCH_7.json by default).
+# emit a machine-readable snapshot (BENCH_8.json by default).
 #
 # The root package's Benchmark* functions replay whole catalogue experiments,
 # so they run at ROOT_BENCHTIME (default 1x: one full iteration each). The
@@ -33,6 +33,15 @@
 # job, independent of the host's core count (and exactly repeatable, unlike
 # the timings).
 #
+# The sync-mode section compares the cluster's two coordination protocols —
+# windowed (global round barrier, every mailbox drained every round) and
+# appointment (per-edge null-message promises, posted mailboxes only) — on
+# the 64- and 256-device torus and hierarchy shapes plus the 256-device
+# ring, again interleaved whole cycles with per-configuration minima, and
+# records the appointment runs' deterministic null-message counts. The
+# 256-device ring also anchors the largest scaling point: sequential vs
+# 4 workers in each sync mode.
+#
 # Usage:
 #   scripts/bench.sh [output.json]
 #   ROOT_BENCHTIME=1x MICRO_BENCHTIME=10000x scripts/bench.sh out.json
@@ -41,12 +50,14 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out=${1:-BENCH_7.json}
+out=${1:-BENCH_8.json}
 root_benchtime=${ROOT_BENCHTIME:-1x}
 micro_benchtime=${MICRO_BENCHTIME:-1000x}
 scaling_benchtime=${SCALING_BENCHTIME:-3x}
 scaling64_benchtime=${SCALING64_BENCHTIME:-1x}
 scaling_count=${SCALING_COUNT:-3}
+sync_benchtime=${SYNC_BENCHTIME:-1x}
+sync_count=${SYNC_COUNT:-5}
 
 workdir=$(mktemp -d)
 trap 'rm -rf "$workdir"' EXIT
@@ -71,8 +82,17 @@ echo "== multi-device scaling: explicit 64-device run, -par 0/2/4/8 (-benchtime 
 scaling64_raw="$workdir/scaling64.txt"
 : >"$scaling64_raw"
 for _ in $(seq "$scaling_count"); do
-    "$scaling_bin" -test.run '^$' -test.bench 'BenchmarkMultiDevice64' \
+    "$scaling_bin" -test.run '^$' -test.bench 'BenchmarkMultiDevice64(Sequential|Workers[0-9]+)$' \
         -test.benchtime "$scaling64_benchtime" | tee -a "$scaling64_raw"
+done
+
+echo "== sync modes: windowed vs appointment, 64/256-device shapes (-benchtime $sync_benchtime, best of $sync_count interleaved) =="
+sync_raw="$workdir/sync.txt"
+: >"$sync_raw"
+for _ in $(seq "$sync_count"); do
+    "$scaling_bin" -test.run '^$' \
+        -test.bench 'BenchmarkMultiDevice(64(Torus|Hier)|256(Ring|Torus|Hier))(Windowed|Appointment)4$|BenchmarkMultiDevice256Sequential$' \
+        -test.benchtime "$sync_benchtime" | tee -a "$sync_raw"
 done
 
 # bench_col FILE BENCH UNIT: the minimum value reported just before UNIT
@@ -100,6 +120,30 @@ win_count=$(bench_col "$scaling64_raw" BenchmarkMultiDevice64Workers8 windows/op
 win_width=$(bench_col "$scaling64_raw" BenchmarkMultiDevice64Workers8 window-ps/op)
 echo "64-device scaling ns/op: seq=$seq64_ns w2=$w2_64_ns w4=$w4_64_ns w8=$w8_64_ns" \
      "(windows=$win_count avg_width=${win_width}ps)"
+
+t64_w_ns=$(bench_col "$sync_raw" BenchmarkMultiDevice64TorusWindowed4 ns/op)
+t64_a_ns=$(bench_col "$sync_raw" BenchmarkMultiDevice64TorusAppointment4 ns/op)
+t64_a_null=$(bench_col "$sync_raw" BenchmarkMultiDevice64TorusAppointment4 nullmsgs/op)
+h64_w_ns=$(bench_col "$sync_raw" BenchmarkMultiDevice64HierWindowed4 ns/op)
+h64_a_ns=$(bench_col "$sync_raw" BenchmarkMultiDevice64HierAppointment4 ns/op)
+h64_a_null=$(bench_col "$sync_raw" BenchmarkMultiDevice64HierAppointment4 nullmsgs/op)
+r256_w_ns=$(bench_col "$sync_raw" BenchmarkMultiDevice256RingWindowed4 ns/op)
+r256_a_ns=$(bench_col "$sync_raw" BenchmarkMultiDevice256RingAppointment4 ns/op)
+r256_a_null=$(bench_col "$sync_raw" BenchmarkMultiDevice256RingAppointment4 nullmsgs/op)
+t256_w_ns=$(bench_col "$sync_raw" BenchmarkMultiDevice256TorusWindowed4 ns/op)
+t256_a_ns=$(bench_col "$sync_raw" BenchmarkMultiDevice256TorusAppointment4 ns/op)
+t256_a_null=$(bench_col "$sync_raw" BenchmarkMultiDevice256TorusAppointment4 nullmsgs/op)
+h256_w_ns=$(bench_col "$sync_raw" BenchmarkMultiDevice256HierWindowed4 ns/op)
+h256_a_ns=$(bench_col "$sync_raw" BenchmarkMultiDevice256HierAppointment4 ns/op)
+h256_a_null=$(bench_col "$sync_raw" BenchmarkMultiDevice256HierAppointment4 nullmsgs/op)
+seq256_ns=$(bench_col "$sync_raw" BenchmarkMultiDevice256Sequential ns/op)
+echo "sync modes ns/op (windowed vs appointment):"
+echo "  64-torus:  $t64_w_ns vs $t64_a_ns  (null msgs $t64_a_null)"
+echo "  64-hier:   $h64_w_ns vs $h64_a_ns  (null msgs $h64_a_null)"
+echo "  256-ring:  $r256_w_ns vs $r256_a_ns  (null msgs $r256_a_null)"
+echo "  256-torus: $t256_w_ns vs $t256_a_ns  (null msgs $t256_a_null)"
+echo "  256-hier:  $h256_w_ns vs $h256_a_ns  (null msgs $h256_a_null)"
+echo "256-device ring scaling ns/op: seq=$seq256_ns w4(windowed)=$r256_w_ns w4(appointment)=$r256_a_ns"
 
 # Serving simulator section: the internal suite above already ran
 # internal/serving's benchmarks; pull out the simulated-request rate
@@ -137,8 +181,23 @@ awk -v go_version="$go_version" \
     -v seq64_ns="$seq64_ns" -v w2_64_ns="$w2_64_ns" \
     -v w4_64_ns="$w4_64_ns" -v w8_64_ns="$w8_64_ns" \
     -v win_count="$win_count" -v win_width="$win_width" \
+    -v sync_benchtime="$sync_benchtime" -v sync_count="$sync_count" \
+    -v t64_w_ns="$t64_w_ns" -v t64_a_ns="$t64_a_ns" -v t64_a_null="$t64_a_null" \
+    -v h64_w_ns="$h64_w_ns" -v h64_a_ns="$h64_a_ns" -v h64_a_null="$h64_a_null" \
+    -v r256_w_ns="$r256_w_ns" -v r256_a_ns="$r256_a_ns" -v r256_a_null="$r256_a_null" \
+    -v t256_w_ns="$t256_w_ns" -v t256_a_ns="$t256_a_ns" -v t256_a_null="$t256_a_null" \
+    -v h256_w_ns="$h256_w_ns" -v h256_a_ns="$h256_a_ns" -v h256_a_null="$h256_a_null" \
+    -v seq256_ns="$seq256_ns" \
     -v serve_req_s="$serve_req_s" -v admit_req_s="$admit_req_s" \
     -v admit_allocs="$admit_allocs" '
+function shape_row(name, devices, w_ns, a_ns, nullmsgs, comma) {
+    printf "      {\"shape\": \"%s\", \"devices\": %d, \"windowed_ns_per_op\": %s, \"appointment_ns_per_op\": %s, \"appointment_speedup\": %s, \"null_messages_per_op\": %s}%s\n",
+        name, devices,
+        w_ns == "" ? "null" : w_ns,
+        a_ns == "" ? "null" : a_ns,
+        (w_ns != "" && a_ns != "") ? sprintf("%.3f", w_ns / a_ns) : "null",
+        nullmsgs == "" ? "null" : nullmsgs, comma
+}
 /^pkg:/ { pkg = $2 }
 /^Benchmark/ {
     name = $1
@@ -186,6 +245,28 @@ END {
     printf "    \"speedup_workers8\": %.3f,\n", seq64_ns / w8_64_ns
     printf "    \"window_count\": %s,\n", win_count == "" ? "null" : win_count
     printf "    \"avg_window_width_ps\": %s\n", win_width == "" ? "null" : win_width
+    printf "  },\n"
+    printf "  \"multi_device_scaling_256\": {\n"
+    printf "    \"benchtime\": \"%s\",\n", sync_benchtime
+    printf "    \"best_of\": %s,\n", sync_count
+    printf "    \"devices\": 256,\n"
+    printf "    \"sequential_ns_per_op\": %s,\n", seq256_ns
+    printf "    \"workers4_windowed_ns_per_op\": %s,\n", r256_w_ns
+    printf "    \"workers4_appointment_ns_per_op\": %s,\n", r256_a_ns
+    printf "    \"speedup_workers4_windowed\": %.3f,\n", seq256_ns / r256_w_ns
+    printf "    \"speedup_workers4_appointment\": %.3f\n", seq256_ns / r256_a_ns
+    printf "  },\n"
+    printf "  \"sync_modes\": {\n"
+    printf "    \"benchtime\": \"%s\",\n", sync_benchtime
+    printf "    \"best_of\": %s,\n", sync_count
+    printf "    \"workers\": 4,\n"
+    printf "    \"shapes\": [\n"
+    shape_row("torus-8x8", 64, t64_w_ns, t64_a_ns, t64_a_null, ",")
+    shape_row("hier-2x32", 64, h64_w_ns, h64_a_ns, h64_a_null, ",")
+    shape_row("ring-256", 256, r256_w_ns, r256_a_ns, r256_a_null, ",")
+    shape_row("torus-16x16", 256, t256_w_ns, t256_a_ns, t256_a_null, ",")
+    shape_row("hier-2x128", 256, h256_w_ns, h256_a_ns, h256_a_null, "")
+    printf "    ]\n"
     printf "  },\n"
     printf "  \"serving\": {\n"
     printf "    \"serve_req_per_s\": %s,\n", serve_req_s == "" ? "null" : serve_req_s
