@@ -21,6 +21,21 @@
 // checker to every run; any conservation/ordering/bound violation is reported
 // on stderr and fails the process.
 //
+// Caching (see internal/store): -cache-dir layers a persistent
+// content-addressed result store under the experiments, so a warm `-exp all`
+// replays the whole catalogue byte-identically from disk in well under a
+// second instead of re-simulating for tens of seconds:
+//
+//	t3sim -exp all -cache-dir ~/.cache/t3sim   # cold: populates the store
+//	t3sim -exp all -cache-dir ~/.cache/t3sim   # warm: served from disk
+//
+// -cache-mode picks rw|ro|off access. The store is versioned by build
+// identity + result schema, and corrupted/stale/concurrently-written entries
+// degrade to a silent miss and recompute — caching never changes output.
+// Runs that record observations are never served from cache (-timeline and
+// -metrics make every simulation uncacheable; -check blocks the disk tier).
+// -time prints the hit/miss accounting to stderr.
+//
 // Every simulation is deterministic and owns a private engine, so -j only
 // changes scheduling, never results: `-exp all -j N` output is byte-identical
 // to `-j 1`, and experiments always print in their fixed catalogue order.
@@ -140,6 +155,11 @@ func main() {
 	slo := flag.Duration("slo", 0,
 		"p99 TTFT service-level objective for the serving experiments "+
 			"(e.g. 250ms); 0 keeps the built-in default")
+	cacheDir := flag.String("cache-dir", "",
+		"persistent result-store directory: warm runs serve identical simulations "+
+			"from disk with byte-identical output; empty disables the store")
+	cacheMode := flag.String("cache-mode", "rw",
+		"result-store access for -cache-dir (rw|ro|off): ro never writes, off ignores the store")
 	flag.Parse()
 
 	catalogue := t3sim.ExperimentCatalogue()
@@ -267,6 +287,43 @@ func main() {
 		return
 	}
 	setup.SyncMode = mode
+	// The persistent result store: a content-addressed second cache tier on
+	// disk. A warm -cache-dir serves every identical simulation without
+	// running it, with byte-identical output; -check runs bypass the disk
+	// tier by design (they must witness real simulations).
+	var memo *t3sim.ExperimentMemoCache
+	if *cacheDir != "" {
+		storeMode, off, err := t3sim.ParseResultStoreMode(*cacheMode)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "t3sim: -cache-mode: %v\n", err)
+			exitCode = 2
+			return
+		}
+		if !off {
+			st, err := t3sim.OpenResultStore(*cacheDir, storeMode)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "t3sim: -cache-dir: %v\n", err)
+				exitCode = 2
+				return
+			}
+			memo = t3sim.NewExperimentMemoCache()
+			memo.AttachStore(st)
+			setup.Memo = memo
+			defer func() {
+				st.Flush()
+				if reg != nil {
+					memo.PublishMetrics(reg)
+				}
+				if *timing {
+					h, m := memo.Stats()
+					s := st.Stats()
+					fmt.Fprintf(os.Stderr,
+						"[cache: %d memo hits, %d misses; store %d hits, %d misses, %d puts, %d corrupt]\n",
+						h, m, s.Hits, s.Misses, s.Puts, s.Corrupt)
+				}
+			}()
+		}
+	}
 	runner := t3sim.NewExperimentRunner(setup, *jobs)
 	emit := func(name string, o outcome) bool {
 		if o.err != nil {

@@ -29,6 +29,17 @@
 //	t3sweep -serve
 //	t3sweep -serve -qps 4,8,12,16 -slo 250ms
 //
+// -cache-dir layers the persistent content-addressed result store under the
+// sweep: repeated configurations dedup in memory, and warm re-runs serve
+// byte-identical rows from disk instead of re-simulating. A trailing
+// `# cache` comment line reports the hit/miss/byte accounting. -cache-mode
+// picks rw|ro|off access; -cache-stats and -cache-prune inspect or
+// garbage-collect a cache directory and exit without sweeping:
+//
+//	t3sweep -devices 4,8,16 -cache-dir ~/.cache/t3sim
+//	t3sweep -cache-dir ~/.cache/t3sim -cache-stats
+//	t3sweep -cache-dir ~/.cache/t3sim -cache-prune
+//
 // -j fans the cross-product out over concurrent simulations. Rows always
 // print in sweep order (cus-major, then links, then devices) and every
 // configuration owns a private simulation engine, so the CSV is
@@ -102,8 +113,21 @@ func run() (code int) {
 			"write every configuration's final counters and gauges to this JSON file")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
+		cacheDir   = flag.String("cache-dir", "",
+			"persistent result-store directory: warm sweeps serve identical configurations "+
+				"from disk with byte-identical rows; empty disables the store")
+		cacheMode = flag.String("cache-mode", "rw",
+			"result-store access for -cache-dir (rw|ro|off): ro never writes, off ignores the store")
+		cacheStats = flag.Bool("cache-stats", false,
+			"print the -cache-dir store's contents (entries, bytes, stale versions) and exit")
+		cachePrune = flag.Bool("cache-prune", false,
+			"remove stale-version entries and leftover temp files from -cache-dir and exit")
 	)
 	flag.Parse()
+
+	if *cacheStats || *cachePrune {
+		return runCacheAdmin(*cacheDir, *cacheStats, *cachePrune)
+	}
 
 	// Registered before the CPU profile starts (LIFO): the CPU profile is
 	// stopped and flushed first, then the heap profile is written.
@@ -184,8 +208,41 @@ func run() (code int) {
 		checker = t3sim.NewChecker()
 	}
 
+	// A nil memo keeps every call on the direct simulation path; with
+	// -cache-dir the sweep dedups within the process and warm-starts from
+	// disk. Rows are byte-identical either way.
+	var memo *t3sim.ExperimentMemoCache
+	if *cacheDir != "" {
+		storeMode, off, err := t3sim.ParseResultStoreMode(*cacheMode)
+		if err != nil {
+			return fail(fmt.Errorf("-cache-mode: %w", err))
+		}
+		if !off {
+			st, err := t3sim.OpenResultStore(*cacheDir, storeMode)
+			if err != nil {
+				return fail(fmt.Errorf("-cache-dir: %w", err))
+			}
+			memo = t3sim.NewExperimentMemoCache()
+			memo.AttachStore(st)
+		}
+	}
+	// The `# cache` accounting row prints after the sweep body, whichever
+	// path it took — including early failures, so a partial sweep still
+	// reports what the store absorbed.
+	defer func() {
+		if memo == nil {
+			return
+		}
+		st := memo.Store()
+		st.Flush()
+		h, mi := memo.Stats()
+		s := st.Stats()
+		fmt.Printf("# cache memo_hits=%d memo_misses=%d store_hits=%d store_misses=%d store_corrupt=%d store_puts=%d bytes_read=%d bytes_written=%d\n",
+			h, mi, s.Hits, s.Misses, s.Corrupt, s.Puts, s.BytesRead, s.BytesWritten)
+	}()
+
 	if *serve {
-		return runServe(*qps, *slo, *jobs, *hdr, reg, checker, *timeline, *metricsOut)
+		return runServe(*qps, *slo, *jobs, *hdr, reg, checker, memo, *timeline, *metricsOut)
 	}
 
 	// The sweep cross-product, in output order.
@@ -231,7 +288,7 @@ func run() (code int) {
 					sink = reg.Scope(fmt.Sprintf("cfg%03d-dev%d-link%g-cu%d",
 						i, c.devices, c.link, c.cus))
 				}
-				row, err := runOne(grid, c.devices, c.link, c.cus, arbitration, collective, *arb, *coll, *topo, *par, syncMode, sink, checker)
+				row, err := runOne(grid, c.devices, c.link, c.cus, arbitration, collective, *arb, *coll, *topo, *par, syncMode, sink, checker, memo)
 				slots[i] <- rowResult{row: row, err: err}
 			}
 		}()
@@ -251,6 +308,12 @@ func run() (code int) {
 	}
 
 	if reg != nil {
+		if memo != nil {
+			// Settle pending disk writes so the exported store counters
+			// cover the whole sweep, then fold them into the registry.
+			memo.Store().Flush()
+			memo.PublishMetrics(reg)
+		}
 		if err := writeExport(*timeline, reg.WriteTrace); err != nil {
 			return fail(fmt.Errorf("-timeline: %w", err))
 		}
@@ -275,8 +338,10 @@ func run() (code int) {
 // sweep order and every simulation is deterministic, so the output is
 // byte-identical at any -j/-par.
 func runServe(qpsFlag string, slo time.Duration, jobs int, hdr bool,
-	reg *t3sim.MetricsRegistry, checker *t3sim.Checker, timeline, metricsOut string) int {
+	reg *t3sim.MetricsRegistry, checker *t3sim.Checker, memo *t3sim.ExperimentMemoCache,
+	timeline, metricsOut string) int {
 	setup := t3sim.DefaultExperimentSetup()
+	setup.Memo = memo
 	if qpsFlag != "" {
 		ladder, err := parseFloats(qpsFlag)
 		if err != nil {
@@ -326,6 +391,10 @@ func runServe(qpsFlag string, slo time.Duration, jobs int, hdr bool,
 		res.SLO, res.BaselineCapacity, res.T3Capacity)
 
 	if reg != nil {
+		if memo != nil {
+			memo.Store().Flush()
+			memo.PublishMetrics(reg)
+		}
 		if err := writeExport(timeline, reg.WriteTrace); err != nil {
 			return fail(fmt.Errorf("-timeline: %w", err))
 		}
@@ -340,6 +409,41 @@ func runServe(qpsFlag string, slo time.Duration, jobs int, hdr bool,
 			}
 			return 1
 		}
+	}
+	return 0
+}
+
+// runCacheAdmin handles the store administration actions (-cache-stats,
+// -cache-prune): inspect or garbage-collect a cache directory without
+// running a sweep. Stats opens the store read-only, so it works on
+// directories the process cannot write.
+func runCacheAdmin(dir string, stats, prune bool) int {
+	if dir == "" {
+		return fail(fmt.Errorf("-cache-stats/-cache-prune need -cache-dir"))
+	}
+	mode := t3sim.StoreReadOnly
+	if prune {
+		mode = t3sim.StoreReadWrite
+	}
+	st, err := t3sim.OpenResultStore(dir, mode)
+	if err != nil {
+		return fail(fmt.Errorf("-cache-dir: %w", err))
+	}
+	if stats {
+		ds, err := st.DiskStats()
+		if err != nil {
+			return fail(fmt.Errorf("-cache-stats: %w", err))
+		}
+		fmt.Printf("# cache dir=%s version=%s\n", dir, t3sim.ResultStoreVersion())
+		fmt.Printf("# cache entries=%d current=%d stale=%d temp=%d bytes=%d\n",
+			ds.Entries, ds.Current, ds.Stale, ds.TempFiles, ds.Bytes)
+	}
+	if prune {
+		removed, freed, err := st.Prune()
+		if err != nil {
+			return fail(fmt.Errorf("-cache-prune: %w", err))
+		}
+		fmt.Printf("# cache pruned=%d freed_bytes=%d\n", removed, freed)
 	}
 	return 0
 }
@@ -376,10 +480,14 @@ func writeExport(path string, write func(io.Writer) error) error {
 
 // runOne simulates one configuration and returns its CSV row. A non-nil sink
 // receives the run's instruments (spans, counters, gauges); a non-nil checker
-// audits the run's conservation/ordering/bound invariants.
+// audits the run's conservation/ordering/bound invariants. A non-nil memo
+// serves repeated configurations from the in-memory/persistent result cache;
+// nil (or an uncacheable configuration — live sink, -par cluster stats) runs
+// the simulation directly.
 func runOne(grid t3sim.GEMMGrid, devices int, linkGBps float64, cus int,
 	arb t3sim.Arbitration, coll t3sim.FusedCollective, arbName, collName, topoName string,
-	par int, syncMode t3sim.ClusterSyncMode, sink t3sim.MetricsSink, checker *t3sim.Checker) (string, error) {
+	par int, syncMode t3sim.ClusterSyncMode, sink t3sim.MetricsSink, checker *t3sim.Checker,
+	memo *t3sim.ExperimentMemoCache) (string, error) {
 	gpu := t3sim.DefaultGPUConfig()
 	gpu.CUs = cus
 	link := t3sim.DefaultLinkConfig()
@@ -418,11 +526,16 @@ func runOne(grid t3sim.GEMMGrid, devices int, linkGBps float64, cus int,
 	case collName == "multi":
 		// Explicit N-device simulation (no mirroring); -par picks the
 		// conservative-parallel execution strategy and -sync the cluster
-		// coordinator, output is identical either way.
+		// coordinator, output is identical either way. The cluster stats
+		// out-parameter only matters for -par runs, and requesting it makes
+		// the run uncacheable (a hit couldn't report this run's windowing),
+		// so sequential rows skip it and stay memoizable.
 		var st t3sim.ClusterStats
-		opts.ClusterStats = &st
+		if par > 0 {
+			opts.ClusterStats = &st
+		}
 		var multi t3sim.MultiDeviceResult
-		multi, err = t3sim.RunFusedGEMMRSMultiDevice(opts)
+		multi, err = memo.FusedMulti(opts)
 		if err == nil {
 			res = t3sim.FusedResult{
 				GEMMDone:       maxTime(multi.GEMMDone),
@@ -441,11 +554,11 @@ func runOne(grid t3sim.GEMMGrid, devices int, linkGBps float64, cus int,
 			}
 		}
 	case coll == t3sim.RingAllGatherCollective:
-		res, err = t3sim.RunFusedGEMMAG(opts)
+		res, err = memo.FusedAG(opts)
 	case coll == t3sim.AllToAllCollective:
-		res, err = t3sim.RunFusedGEMMAllToAll(opts)
+		res, err = memo.FusedAllToAll(opts)
 	default:
-		res, err = t3sim.RunFusedGEMMRS(opts)
+		res, err = memo.FusedRS(opts)
 	}
 	if err != nil {
 		return "", err

@@ -3,6 +3,7 @@ package t3sim
 import (
 	"t3sim/internal/collective"
 	"t3sim/internal/experiments"
+	"t3sim/internal/store"
 )
 
 // Experiment drivers: one per paper table and figure. Each returns typed
@@ -238,6 +239,55 @@ func Table2() string { return experiments.Table2() }
 
 // Table3 renders the qualitative prior-work comparison.
 func Table3() string { return experiments.Table3() }
+
+// The persistent content-addressed result store (ROADMAP item 5): the
+// second tier under the in-memory memo cache. Open a store on a directory,
+// attach it to a MemoCache, and every experiment warm-starts from results
+// any earlier process of the same build persisted there. Corrupted, stale
+// or concurrently-written entries degrade to misses, never errors.
+type (
+	// ExperimentMemoCache is the process-wide content-addressed result
+	// cache shared across a Runner's evaluators and drivers.
+	ExperimentMemoCache = experiments.MemoCache
+	// ResultStore is the on-disk tier (internal/store).
+	ResultStore = store.Store
+	// ResultStoreMode selects read-write or read-only access.
+	ResultStoreMode = store.Mode
+	// ResultStoreStats counts a store's traffic (hits, misses, corrupt
+	// entries, puts, bytes).
+	ResultStoreStats = store.Stats
+	// ResultStoreDiskStats summarizes a cache directory's contents.
+	ResultStoreDiskStats = store.DiskStats
+)
+
+const (
+	// StoreReadWrite serves hits and persists new results.
+	StoreReadWrite = store.ReadWrite
+	// StoreReadOnly serves hits but never writes.
+	StoreReadOnly = store.ReadOnly
+)
+
+// NewExperimentMemoCache returns an empty in-memory result cache; attach a
+// store with AttachStore to make it persistent.
+func NewExperimentMemoCache() *ExperimentMemoCache { return experiments.NewMemoCache() }
+
+// ResultStoreVersion is this build's code-identity version string: VCS
+// revision (or a deterministic fallback) plus a structural fingerprint of
+// every persisted result type. Entries under any other version are
+// invisible.
+func ResultStoreVersion() string { return experiments.StoreVersion() }
+
+// OpenResultStore opens dir as a persistent result store under this build's
+// version.
+func OpenResultStore(dir string, mode ResultStoreMode) (*ResultStore, error) {
+	return experiments.OpenStore(dir, mode)
+}
+
+// ParseResultStoreMode parses the CLIs' -cache-mode value (rw|ro|off); off
+// reports true in the second result.
+func ParseResultStoreMode(s string) (ResultStoreMode, bool, error) {
+	return experiments.ParseStoreMode(s)
+}
 
 // Analytic ring-collective cost models (the Figure 14 reference).
 type AnalyticCollectiveOptions = collective.AnalyticOptions

@@ -59,11 +59,23 @@ const (
 )
 
 // CoarseOverlap runs the contention matrix: {round-robin, compute-first,
-// MCA} × {NMC off, NMC on}.
+// MCA} × {NMC off, NMC on}. The whole result is memoized by Setup: the
+// matrix is a deterministic function of the machine description, so a warm
+// persistent store serves it without simulating.
 func CoarseOverlap(setup Setup) (*CoarseOverlapResult, error) {
 	if err := setup.Validate(); err != nil {
 		return nil, err
 	}
+	var tab *memoTable[CoarseOverlapResult]
+	if setup.Memo != nil {
+		tab = &setup.Memo.coarse
+	}
+	return memoExperiment(tab, setup, func() (*CoarseOverlapResult, error) {
+		return coarseOverlap(setup)
+	})
+}
+
+func coarseOverlap(setup Setup) (*CoarseOverlapResult, error) {
 	grid, err := coarseGEMM()
 	if err != nil {
 		return nil, err

@@ -50,6 +50,16 @@ type Fig6Result struct {
 // and FC-2 sub-layers at TP=8, with the GPU's 80 CUs split between the GEMM
 // and a software-overlapped all-reduce.
 func Fig6(ev *Evaluator) (*Fig6Result, error) {
+	var tab *memoTable[Fig6Result]
+	if ev.Setup.Memo != nil {
+		tab = &ev.Setup.Memo.fig6
+	}
+	return memoExperiment(tab, ev.Setup, func() (*Fig6Result, error) {
+		return fig6(ev)
+	})
+}
+
+func fig6(ev *Evaluator) (*Fig6Result, error) {
 	splits := []Fig6Split{{80, 0}, {72, 8}, {64, 16}}
 	res := &Fig6Result{GeomeanSpeedup: map[string]float64{}}
 	speedups := map[string][]float64{}

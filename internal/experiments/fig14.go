@@ -37,6 +37,16 @@ func Fig14(setup Setup) (*Fig14Result, error) {
 	if err := setup.Validate(); err != nil {
 		return nil, err
 	}
+	var tab *memoTable[Fig14Result]
+	if setup.Memo != nil {
+		tab = &setup.Memo.fig14
+	}
+	return memoExperiment(tab, setup, func() (*Fig14Result, error) {
+		return fig14(setup)
+	})
+}
+
+func fig14(setup Setup) (*Fig14Result, error) {
 	const devices = 4
 	res := &Fig14Result{Devices: devices}
 	var sims, refs []float64

@@ -46,6 +46,16 @@ func LayerValidation(setup Setup) (*LayerValidationResult, error) {
 	if err := setup.Validate(); err != nil {
 		return nil, err
 	}
+	var tab *memoTable[LayerValidationResult]
+	if setup.Memo != nil {
+		tab = &setup.Memo.layer
+	}
+	return memoExperiment(tab, setup, func() (*LayerValidationResult, error) {
+		return layerValidation(setup)
+	})
+}
+
+func layerValidation(setup Setup) (*LayerValidationResult, error) {
 	m, err := transformer.ModelByName("T-NLG")
 	if err != nil {
 		return nil, err

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"t3sim/internal/check"
+	"t3sim/internal/interconnect"
 	"t3sim/internal/memory"
 	"t3sim/internal/metrics"
 	"t3sim/internal/t3core"
@@ -98,14 +99,14 @@ func perturbLeaves(t *testing.T, v reflect.Value, path string, visit func(path s
 // asserts each flip changes the key: no timing-relevant knob may alias.
 func TestMemoKeyPerturbation(t *testing.T) {
 	opts := memoTestOptions(t)
-	base, ok := fusedKey(opts)
+	base, ok, _ := fusedKey(opts, tagFusedRS)
 	if !ok {
 		t.Fatal("baseline options must be cacheable")
 	}
 	leaves := 0
 	perturbLeaves(t, reflect.ValueOf(&opts).Elem(), "FusedOptions", func(path string) {
 		leaves++
-		k, ok := fusedKey(opts)
+		k, ok, _ := fusedKey(opts, tagFusedRS)
 		if !ok {
 			t.Fatalf("%s: perturbed options became uncacheable", path)
 		}
@@ -118,7 +119,7 @@ func TestMemoKeyPerturbation(t *testing.T) {
 	if leaves < 30 {
 		t.Fatalf("perturbed only %d leaves; the reflection walk lost coverage", leaves)
 	}
-	if k, _ := fusedKey(opts); k != base {
+	if k, _, _ := fusedKey(opts, tagFusedRS); k != base {
 		t.Fatal("perturbation walk did not restore the options")
 	}
 }
@@ -132,26 +133,26 @@ func TestMemoKeyNormalization(t *testing.T) {
 	a.DMATilesPerBlock = 0
 	b := opts
 	b.DMATilesPerBlock = 1
-	ka, _ := fusedKey(a)
-	kb, _ := fusedKey(b)
+	ka, _, _ := fusedKey(a, tagFusedRS)
+	kb, _, _ := fusedKey(b, tagFusedRS)
 	if ka != kb {
 		t.Error("DMATilesPerBlock 0 and 1 mean the same schedule but key differently")
 	}
 	c := opts
 	c.DMATilesPerBlock = 2
-	if kc, _ := fusedKey(c); kc == kb {
+	if kc, _, _ := fusedKey(c, tagFusedRS); kc == kb {
 		t.Error("DMATilesPerBlock 2 aliases 1")
 	}
 
 	flat := opts
 	flat.Memory.Banks = nil
-	kFlat, _ := fusedKey(flat)
-	kBanks, _ := fusedKey(opts)
+	kFlat, _, _ := fusedKey(flat, tagFusedRS)
+	kBanks, _, _ := fusedKey(opts, tagFusedRS)
 	if kFlat == kBanks {
 		t.Error("flat and bank-group DRAM models share a key")
 	}
 
-	sk, ok := sublayerKey(opts, 1*units.MiB, 80, 16*units.GBps)
+	sk, ok, _ := sublayerKey(opts, 1*units.MiB, 80, 16*units.GBps)
 	if !ok {
 		t.Fatal("sublayer key must be cacheable")
 	}
@@ -168,7 +169,7 @@ func TestMemoKeyNormalization(t *testing.T) {
 
 func mustSublayerKey(t *testing.T, o t3core.FusedOptions, ar units.Bytes, cus int, bw units.Bandwidth) memoKey {
 	t.Helper()
-	k, ok := sublayerKey(o, ar, cus, bw)
+	k, ok, _ := sublayerKey(o, ar, cus, bw)
 	if !ok {
 		t.Fatal("sublayer key must be cacheable")
 	}
@@ -180,7 +181,7 @@ func mustSublayerKey(t *testing.T, o t3core.FusedOptions, ar units.Bytes, cus in
 // checker neither blocks caching nor perturbs the key.
 func TestMemoBarrierFields(t *testing.T) {
 	base := memoTestOptions(t)
-	baseKey, ok := fusedKey(base)
+	baseKey, ok, baseDisk := fusedKey(base, tagFusedRS)
 	if !ok {
 		t.Fatal("baseline options must be cacheable")
 	}
@@ -208,19 +209,98 @@ func TestMemoBarrierFields(t *testing.T) {
 	cases["Memory.Metrics"] = o
 
 	for name, opts := range cases {
-		if _, ok := fusedKey(opts); ok {
+		if _, ok, _ := fusedKey(opts, tagFusedRS); ok {
 			t.Errorf("%s set: options must be uncacheable", name)
 		}
 	}
 
 	withCheck := base
 	withCheck.Check = check.New()
-	k, ok := fusedKey(withCheck)
+	k, ok, diskOK := fusedKey(withCheck, tagFusedRS)
 	if !ok {
 		t.Fatal("a checker must not block caching: golden runs attach one to every simulation")
 	}
 	if k != baseKey {
 		t.Error("the checker perturbed the key; identical runs with and without it must share")
+	}
+	if !baseDisk {
+		t.Error("checker-free options must be eligible for the persistent tier")
+	}
+	if diskOK {
+		t.Error("a checker must block the persistent tier: a -check run has to simulate, " +
+			"not read an unchecked process's result")
+	}
+}
+
+// TestMemoEntryPointTags pins that the three fused entry points never share
+// a key for identical option structs: they simulate different datapaths.
+func TestMemoEntryPointTags(t *testing.T) {
+	opts := memoTestOptions(t)
+	seen := map[memoKey]uint64{}
+	for _, tag := range []uint64{tagFusedRS, tagFusedAG, tagFusedAllToAll} {
+		k, ok, _ := fusedKey(opts, tag)
+		if !ok {
+			t.Fatal("baseline options must be cacheable")
+		}
+		if prev, dup := seen[k]; dup {
+			t.Fatalf("entry-point tags %d and %d share a key", prev, tag)
+		}
+		seen[k] = tag
+	}
+}
+
+// TestSetupKey pins the whole-experiment key space: execution-strategy knobs
+// must not split the key, timing-relevant ones must, a metrics sink blocks
+// caching entirely, and a checker blocks only the persistent tier.
+func TestSetupKey(t *testing.T) {
+	base := DefaultSetup()
+	k0, ok, diskOK := setupKey(base)
+	if !ok || !diskOK {
+		t.Fatal("the default setup must be fully cacheable")
+	}
+
+	same := base
+	same.MultiDeviceWorkers = 7
+	same.SyncMode = 2
+	same.Memo = NewMemoCache()
+	if k, ok, _ := setupKey(same); !ok || k != k0 {
+		t.Error("execution-strategy knobs (workers, sync mode, memo handle) must not split the key")
+	}
+
+	for name, mutate := range map[string]func(*Setup){
+		"Memory.TotalBandwidth": func(s *Setup) { s.Memory.TotalBandwidth *= 2 },
+		"Link.LinkBandwidth":    func(s *Setup) { s.Link.LinkBandwidth *= 2 },
+		"CollectiveCUs":         func(s *Setup) { s.CollectiveCUs++ },
+		"ServeQPS":              func(s *Setup) { s.ServeQPS = append([]float64(nil), 1, 2, 3) },
+		"ServeSLO":              func(s *Setup) { s.ServeSLO += units.Millisecond },
+		"Topo":                  func(s *Setup) { s.Topo = interconnect.RingTopo(8, s.Link) },
+	} {
+		mutated := base
+		mutate(&mutated)
+		k, ok, _ := setupKey(mutated)
+		if !ok {
+			t.Errorf("%s: mutated setup became uncacheable", name)
+			continue
+		}
+		if k == k0 {
+			t.Errorf("setup key ignores %s", name)
+		}
+	}
+
+	observed := base
+	observed.Metrics = metrics.NewRegistry()
+	if _, ok, _ := setupKey(observed); ok {
+		t.Error("a live metrics sink must make the setup uncacheable")
+	}
+
+	checked := base
+	checked.Check = check.New()
+	k, ok, diskOK := setupKey(checked)
+	if !ok || k != k0 {
+		t.Error("a checker must neither block in-memory caching nor perturb the key")
+	}
+	if diskOK {
+		t.Error("a checker must block the persistent tier")
 	}
 }
 

@@ -59,7 +59,7 @@ func MirrorValidation(setup Setup) (*MirrorResult, error) {
 		}
 		opts.ParWorkers = setup.MultiDeviceWorkers
 		opts.SyncMode = setup.SyncMode
-		multi, err := t3core.RunFusedGEMMRSMultiDevice(opts)
+		multi, err := memoFusedMulti(setup.Memo, opts)
 		if err != nil {
 			return nil, err
 		}

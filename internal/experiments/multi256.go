@@ -89,7 +89,7 @@ func Multi256(setup Setup) (*Multi256Result, error) {
 		if setup.Metrics != nil {
 			opts.Metrics = setup.Metrics.Scope("multi256/" + topoName(spec))
 		}
-		multi, err := t3core.RunFusedGEMMRSMultiDevice(opts)
+		multi, err := memoFusedMulti(setup.Memo, opts)
 		if err != nil {
 			return nil, fmt.Errorf("multi256 %s: %w", topoName(spec), err)
 		}

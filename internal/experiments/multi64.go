@@ -74,7 +74,7 @@ func Multi64(setup Setup) (*Multi64Result, error) {
 	}
 	opts.ParWorkers = setup.MultiDeviceWorkers
 	opts.SyncMode = setup.SyncMode
-	multi, err := t3core.RunFusedGEMMRSMultiDevice(opts)
+	multi, err := memoFusedMulti(setup.Memo, opts)
 	if err != nil {
 		return nil, err
 	}

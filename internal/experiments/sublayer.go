@@ -237,8 +237,8 @@ func (e *Evaluator) evaluate(c SubCase) (SublayerResult, error) {
 	// simulations. Metrics runs are never served from cache — their whole
 	// value is the recording.
 	if m := s.Memo; m != nil && s.Metrics == nil {
-		if key, ok := sublayerKey(fusedOpts, sl.ARBytes, s.CollectiveCUs, s.PerCUMemBandwidth); ok {
-			r, err := m.memoSublayer(key, func() (SublayerResult, error) {
+		if key, ok, diskOK := sublayerKey(fusedOpts, sl.ARBytes, s.CollectiveCUs, s.PerCUMemBandwidth); ok {
+			r, err := m.memoSublayer(key, diskOK, func() (SublayerResult, error) {
 				return e.simulate(c, sl, fusedOpts)
 			})
 			if err == nil {

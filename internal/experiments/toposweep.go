@@ -245,6 +245,16 @@ func TopoSweep(setup Setup) (*TopoSweepResult, error) {
 	if err := setup.Validate(); err != nil {
 		return nil, err
 	}
+	var tab *memoTable[TopoSweepResult]
+	if setup.Memo != nil {
+		tab = &setup.Memo.topo
+	}
+	return memoExperiment(tab, setup, func() (*TopoSweepResult, error) {
+		return topoSweep(setup)
+	})
+}
+
+func topoSweep(setup Setup) (*TopoSweepResult, error) {
 	specs := DefaultTopoSpecs(setup.Link)
 	if !setup.Topo.IsZero() {
 		specs = []interconnect.TopoSpec{setup.Topo}

@@ -1,0 +1,405 @@
+// Package store implements the persistent content-addressed result store:
+// a concurrent-safe on-disk map from canonical simulation keys to
+// gob-encoded results, shared by every t3sim/t3sweep process pointed at the
+// same directory.
+//
+// The store is the second tier under the in-memory memo cache
+// (internal/experiments/memo.go): reads are read-through (memory miss →
+// disk probe → compute), writes are write-behind (the computing caller
+// returns immediately; a background goroutine encodes and persists).
+//
+// Design rules, in priority order:
+//
+//   - A cache must never change results. Every key folds in the store's
+//     code-identity version string, so entries written by a different build
+//     self-invalidate (they are simply never looked up), and every payload
+//     carries a checksum, so a torn, truncated or corrupted file reads as a
+//     miss — never as a wrong result.
+//   - A cache must never turn a working run into a failing one. No read or
+//     write path returns an error to the simulation: unreadable entries are
+//     misses, failed writes are counted and dropped. Only Open can fail, and
+//     only when the cache directory itself cannot be created.
+//   - Concurrent use is the normal case. Within a process the memo layer's
+//     singleflight already collapses duplicate computations; across
+//     processes, writers publish with an atomic write-to-temp + rename, so
+//     racing writers are last-writer-wins and readers always observe a
+//     complete file or none.
+//
+// On-disk layout: dir/<space>/<hh>/<hash>.t3r, where <hash> is the hex
+// SHA-256 of (version, space, key) and <hh> its first two characters — a
+// two-level fan-out that keeps directories small under large sweeps.
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/gob"
+	"encoding/hex"
+	"hash/crc32"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Key is a collision-resistant content digest, produced by the caller's
+// canonical hasher (the experiments memoKey converts directly).
+type Key [sha256.Size]byte
+
+// Mode selects how a store treats the directory it was opened on.
+type Mode int
+
+const (
+	// ReadWrite serves hits and persists new results (the default).
+	ReadWrite Mode = iota
+	// ReadOnly serves hits but never writes: Put is a counted no-op. The
+	// directory may not even exist — every Get is then a miss.
+	ReadOnly
+)
+
+// Options configures Open.
+type Options struct {
+	// Version is the code-identity string hashed into every entry's on-disk
+	// name. Entries written under any other version are invisible (and
+	// reclaimable via Prune). Must be non-empty.
+	Version string
+	// Mode is ReadWrite or ReadOnly.
+	Mode Mode
+}
+
+// Stats counts store traffic. All failure modes are counted, none are
+// surfaced as errors.
+type Stats struct {
+	// Hits / Misses count Get outcomes. A corrupt or stale entry is a miss.
+	Hits, Misses int64
+	// Corrupt counts Get probes that found a file but could not use it
+	// (truncated, bad checksum, wrong version header, undecodable payload).
+	// Each is also counted as a miss.
+	Corrupt int64
+	// Puts counts successfully persisted entries; PutErrors counts writes
+	// that failed (full disk, read-only directory, ...) and were dropped;
+	// PutSkipped counts Put calls ignored because the store is ReadOnly.
+	Puts, PutErrors, PutSkipped int64
+	// BytesRead / BytesWritten count payload traffic of hits and
+	// successful puts.
+	BytesRead, BytesWritten int64
+}
+
+// Store is a handle on one cache directory. Methods are safe for concurrent
+// use and safe on a nil receiver (every Get misses, every Put is dropped),
+// so callers can thread an optional store without guarding call sites.
+type Store struct {
+	dir     string
+	version string
+	mode    Mode
+
+	wg sync.WaitGroup // outstanding write-behind goroutines
+
+	hits, misses, corrupt       atomic.Int64
+	puts, putErrors, putSkipped atomic.Int64
+	bytesRead, bytesWritten     atomic.Int64
+}
+
+// File format: header, gob payload, trailing checksum. The version string is
+// already folded into the file name; it is repeated in the header so Prune
+// and DiskStats can attribute entries to builds without reversing the hash.
+const (
+	fileMagic  = "t3rstor1"
+	fileSuffix = ".t3r"
+	tmpPrefix  = "tmp-"
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Open returns a store over dir, creating it (mode ReadWrite) if needed.
+// The only failure is an unusable directory in ReadWrite mode.
+func Open(dir string, o Options) (*Store, error) {
+	if o.Mode == ReadWrite {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	return &Store{dir: dir, version: o.Version, mode: o.Mode}, nil
+}
+
+// Dir returns the store's directory ("" on nil).
+func (s *Store) Dir() string {
+	if s == nil {
+		return ""
+	}
+	return s.dir
+}
+
+// Version returns the code-identity string ("" on nil).
+func (s *Store) Version() string {
+	if s == nil {
+		return ""
+	}
+	return s.version
+}
+
+// entryPath is the final on-disk location of (space, key) under the store's
+// version.
+func (s *Store) entryPath(space string, key Key) string {
+	h := sha256.New()
+	io.WriteString(h, s.version)
+	h.Write([]byte{0})
+	io.WriteString(h, space)
+	h.Write([]byte{0})
+	h.Write(key[:])
+	name := hex.EncodeToString(h.Sum(nil))
+	return filepath.Join(s.dir, space, name[:2], name+fileSuffix)
+}
+
+// Get decodes the stored entry for (space, key) into v, reporting whether it
+// succeeded. Every failure mode — absent, truncated, corrupted, stale
+// version, undecodable — is a miss, never an error: the caller recomputes.
+func (s *Store) Get(space string, key Key, v any) bool {
+	if s == nil {
+		return false
+	}
+	raw, err := os.ReadFile(s.entryPath(space, key))
+	if err != nil {
+		s.misses.Add(1)
+		return false
+	}
+	payload, ok := s.decodeFile(raw)
+	if ok {
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(v); err != nil {
+			ok = false
+		}
+	}
+	if !ok {
+		s.corrupt.Add(1)
+		s.misses.Add(1)
+		return false
+	}
+	s.hits.Add(1)
+	s.bytesRead.Add(int64(len(payload)))
+	return true
+}
+
+// decodeFile validates raw's framing and returns the gob payload.
+func (s *Store) decodeFile(raw []byte) ([]byte, bool) {
+	rest := raw
+	if len(rest) < len(fileMagic) || string(rest[:len(fileMagic)]) != fileMagic {
+		return nil, false
+	}
+	rest = rest[len(fileMagic):]
+	version, rest, ok := takeBlock(rest)
+	if !ok || string(version) != s.version {
+		return nil, false
+	}
+	payload, rest, ok := takeBlock(rest)
+	if !ok || len(rest) != 4 {
+		return nil, false
+	}
+	sum := binary.LittleEndian.Uint32(rest)
+	if crc32.Checksum(raw[:len(raw)-4], crcTable) != sum {
+		return nil, false
+	}
+	return payload, true
+}
+
+// takeBlock splits a length-prefixed block off the front of b.
+func takeBlock(b []byte) (block, rest []byte, ok bool) {
+	if len(b) < 4 {
+		return nil, nil, false
+	}
+	n := binary.LittleEndian.Uint32(b)
+	b = b[4:]
+	if uint32(len(b)) < n {
+		return nil, nil, false
+	}
+	return b[:n], b[n:], true
+}
+
+// Put persists v under (space, key) asynchronously. The caller returns
+// immediately; encoding and I/O happen on a background goroutine (call Flush
+// to wait for them). Failures are counted, never surfaced. On a nil or
+// ReadOnly store, Put drops the value.
+func (s *Store) Put(space string, key Key, v any) {
+	if s == nil {
+		return
+	}
+	if s.mode == ReadOnly {
+		s.putSkipped.Add(1)
+		return
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.putSync(space, key, v)
+	}()
+}
+
+func (s *Store) putSync(space string, key Key, v any) {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(v); err != nil {
+		s.putErrors.Add(1)
+		return
+	}
+	var buf bytes.Buffer
+	buf.Grow(len(fileMagic) + 8 + len(s.version) + payload.Len() + 8)
+	buf.WriteString(fileMagic)
+	writeBlock(&buf, []byte(s.version))
+	writeBlock(&buf, payload.Bytes())
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc32.Checksum(buf.Bytes(), crcTable))
+	buf.Write(sum[:])
+
+	final := s.entryPath(space, key)
+	if err := os.MkdirAll(filepath.Dir(final), 0o755); err != nil {
+		s.putErrors.Add(1)
+		return
+	}
+	// Atomic publish: racing writers each rename a private temp file onto
+	// the final path; last writer wins, readers never see a partial file.
+	tmp, err := os.CreateTemp(filepath.Dir(final), tmpPrefix)
+	if err != nil {
+		s.putErrors.Add(1)
+		return
+	}
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		s.putErrors.Add(1)
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		s.putErrors.Add(1)
+		return
+	}
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		os.Remove(tmp.Name())
+		s.putErrors.Add(1)
+		return
+	}
+	s.puts.Add(1)
+	s.bytesWritten.Add(int64(payload.Len()))
+}
+
+func writeBlock(buf *bytes.Buffer, b []byte) {
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], uint32(len(b)))
+	buf.Write(n[:])
+	buf.Write(b)
+}
+
+// Flush blocks until every write-behind goroutine started by earlier Put
+// calls has finished. Call it before reading Stats for exact put counts, and
+// before process exit so the last results land on disk.
+func (s *Store) Flush() {
+	if s == nil {
+		return
+	}
+	s.wg.Wait()
+}
+
+// Stats returns a snapshot of the store's traffic counters.
+func (s *Store) Stats() Stats {
+	if s == nil {
+		return Stats{}
+	}
+	return Stats{
+		Hits:         s.hits.Load(),
+		Misses:       s.misses.Load(),
+		Corrupt:      s.corrupt.Load(),
+		Puts:         s.puts.Load(),
+		PutErrors:    s.putErrors.Load(),
+		PutSkipped:   s.putSkipped.Load(),
+		BytesRead:    s.bytesRead.Load(),
+		BytesWritten: s.bytesWritten.Load(),
+	}
+}
+
+// DiskStats summarizes the cache directory's contents.
+type DiskStats struct {
+	// Entries / Bytes count all complete entries on disk; Current counts
+	// those readable under the store's own version, Stale the rest
+	// (other builds, unreadable headers).
+	Entries, Current, Stale int
+	Bytes                   int64
+	// TempFiles counts leftover write-temp files (crashed writers).
+	TempFiles int
+}
+
+// DiskStats walks the cache directory. A missing directory is an empty
+// cache, not an error.
+func (s *Store) DiskStats() (DiskStats, error) {
+	var ds DiskStats
+	if s == nil {
+		return ds, nil
+	}
+	err := s.walkEntries(func(path string, info fs.FileInfo, stale bool) error {
+		if strings.HasPrefix(filepath.Base(path), tmpPrefix) {
+			ds.TempFiles++
+			return nil
+		}
+		ds.Entries++
+		ds.Bytes += info.Size()
+		if stale {
+			ds.Stale++
+		} else {
+			ds.Current++
+		}
+		return nil
+	})
+	return ds, err
+}
+
+// Prune removes every entry not readable under the store's current version —
+// stale builds, corrupt files — plus leftover write-temp files, and returns
+// how many entries were removed and how many bytes were freed. Run it as an
+// offline admin operation (concurrent writers' live temp files would be
+// swept too).
+func (s *Store) Prune() (removed int, freed int64, err error) {
+	if s == nil {
+		return 0, 0, nil
+	}
+	err = s.walkEntries(func(path string, info fs.FileInfo, stale bool) error {
+		if !stale && !strings.HasPrefix(filepath.Base(path), tmpPrefix) {
+			return nil
+		}
+		if err := os.Remove(path); err != nil {
+			return err
+		}
+		removed++
+		freed += info.Size()
+		return nil
+	})
+	return removed, freed, err
+}
+
+// walkEntries visits every regular file under the store directory, flagging
+// whether it fails to validate under the current version.
+func (s *Store) walkEntries(fn func(path string, info fs.FileInfo, stale bool) error) error {
+	return filepath.WalkDir(s.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			if path == s.dir && os.IsNotExist(err) {
+				return filepath.SkipAll
+			}
+			return err
+		}
+		if d.IsDir() {
+			return nil
+		}
+		info, err := d.Info()
+		if err != nil {
+			return err
+		}
+		stale := true
+		if !strings.HasPrefix(filepath.Base(path), tmpPrefix) {
+			if raw, err := os.ReadFile(path); err == nil {
+				_, ok := s.decodeFile(raw)
+				stale = !ok
+			}
+		}
+		return fn(path, info, stale)
+	})
+}

@@ -1,0 +1,381 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+type payload struct {
+	A int64
+	B float64
+	C []int64
+	S string
+}
+
+func testPayload(i int) payload {
+	return payload{A: int64(i), B: float64(i) / 3, C: []int64{1, 2, int64(i)}, S: "entry"}
+}
+
+func testKey(i int) Key {
+	var k Key
+	k[0] = byte(i)
+	k[1] = byte(i >> 8)
+	return k
+}
+
+func open(t *testing.T, dir string, o Options) *Store {
+	t.Helper()
+	if o.Version == "" {
+		o.Version = "v-test"
+	}
+	s, err := Open(dir, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// entryFile locates the single on-disk entry after one put (fatal unless
+// exactly one exists).
+func entryFile(t *testing.T, dir string) string {
+	t.Helper()
+	var files []string
+	filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if len(files) != 1 {
+		t.Fatalf("want exactly 1 entry on disk, found %d", len(files))
+	}
+	return files[0]
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	s := open(t, t.TempDir(), Options{})
+	want := testPayload(7)
+
+	var got payload
+	if s.Get("space", testKey(7), &got) {
+		t.Fatal("Get on an empty store hit")
+	}
+	s.Put("space", testKey(7), want)
+	s.Flush()
+	if !s.Get("space", testKey(7), &got) {
+		t.Fatal("Get after Put+Flush missed")
+	}
+	if got.A != want.A || got.B != want.B || got.S != want.S || len(got.C) != len(want.C) {
+		t.Fatalf("round trip corrupted the payload: got %+v want %+v", got, want)
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Puts != 1 || st.PutErrors != 0 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss / 1 put", st)
+	}
+	if st.BytesRead == 0 || st.BytesWritten == 0 {
+		t.Fatalf("byte counters did not move: %+v", st)
+	}
+}
+
+// TestStoreTruncation proves a truncated entry — a crashed or torn write at
+// ANY byte boundary — reads as a silent miss, never an error or a wrong
+// value.
+func TestStoreTruncation(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{})
+	s.Put("space", testKey(1), testPayload(1))
+	s.Flush()
+	path := entryFile(t, dir)
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < len(full); n++ {
+		if err := os.WriteFile(path, full[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		fresh := open(t, dir, Options{})
+		var got payload
+		if fresh.Get("space", testKey(1), &got) {
+			t.Fatalf("truncation to %d/%d bytes served a hit", n, len(full))
+		}
+		if st := fresh.Stats(); st.Corrupt != 1 || st.Misses != 1 {
+			t.Fatalf("truncation to %d bytes: stats %+v, want 1 corrupt miss", n, st)
+		}
+	}
+}
+
+// TestStoreCorruption flips every byte of a valid entry in turn; each
+// corruption must be a silent miss (the checksum or framing catches it).
+func TestStoreCorruption(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{})
+	s.Put("space", testKey(1), testPayload(1))
+	s.Flush()
+	path := entryFile(t, dir)
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < len(full); n++ {
+		bad := bytes.Clone(full)
+		bad[n] ^= 0xa5
+		if err := os.WriteFile(path, bad, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var got payload
+		if open(t, dir, Options{}).Get("space", testKey(1), &got) {
+			t.Fatalf("flipped byte %d/%d still served a hit", n, len(full))
+		}
+	}
+	// Whole-file garbage, much larger than the original.
+	if err := os.WriteFile(path, bytes.Repeat([]byte{0x5a}, 4096), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var got payload
+	if open(t, dir, Options{}).Get("space", testKey(1), &got) {
+		t.Fatal("garbage file served a hit")
+	}
+}
+
+// TestStoreVersionMismatch proves entries written by one code identity are
+// invisible to another, and Prune reclaims them.
+func TestStoreVersionMismatch(t *testing.T) {
+	dir := t.TempDir()
+	old := open(t, dir, Options{Version: "v-old"})
+	old.Put("space", testKey(1), testPayload(1))
+	old.Flush()
+
+	cur := open(t, dir, Options{Version: "v-new"})
+	var got payload
+	if cur.Get("space", testKey(1), &got) {
+		t.Fatal("an entry from another build version served a hit")
+	}
+	cur.Put("space", testKey(1), testPayload(2))
+	cur.Flush()
+	if !cur.Get("space", testKey(1), &got) || got.A != 2 {
+		t.Fatal("the new version's own entry is unreadable")
+	}
+	// Both versions coexist until pruned.
+	ds, err := cur.DiskStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Entries != 2 || ds.Current != 1 || ds.Stale != 1 {
+		t.Fatalf("disk stats %+v, want 2 entries / 1 current / 1 stale", ds)
+	}
+	removed, freed, err := cur.Prune()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 1 || freed == 0 {
+		t.Fatalf("Prune removed %d entries (%d bytes), want the 1 stale entry", removed, freed)
+	}
+	if !cur.Get("space", testKey(1), &got) || got.A != 2 {
+		t.Fatal("Prune removed the current version's entry")
+	}
+	if !old.Get("space", testKey(1), &got) || got.A != 1 {
+		// Not pruned yet from old's view? It must be: the file is gone.
+		t.Log("old entry pruned as expected")
+	}
+}
+
+// TestStoreConcurrentWriters hammers one directory from many goroutines and
+// two independent Store handles (standing in for separate processes) under
+// the race detector: concurrent last-writer-wins publishes must never yield
+// a torn read.
+func TestStoreConcurrentWriters(t *testing.T) {
+	dir := t.TempDir()
+	a := open(t, dir, Options{})
+	b := open(t, dir, Options{})
+	const keys = 8
+	const writersPerKey = 4
+
+	var wg sync.WaitGroup
+	for k := 0; k < keys; k++ {
+		for w := 0; w < writersPerKey; w++ {
+			wg.Add(1)
+			go func(k, w int) {
+				defer wg.Done()
+				s := a
+				if w%2 == 1 {
+					s = b
+				}
+				s.Put("space", testKey(k), testPayload(k))
+				var got payload
+				if s.Get("space", testKey(k), &got) && got.A != int64(k) {
+					t.Errorf("key %d read another key's payload (%d)", k, got.A)
+				}
+			}(k, w)
+		}
+	}
+	wg.Wait()
+	a.Flush()
+	b.Flush()
+	for k := 0; k < keys; k++ {
+		var got payload
+		if !a.Get("space", testKey(k), &got) {
+			t.Fatalf("key %d missing after concurrent writes", k)
+		}
+		if got.A != int64(k) {
+			t.Fatalf("key %d = %d after concurrent writes", k, got.A)
+		}
+	}
+	if st := a.Stats(); st.PutErrors != 0 {
+		t.Fatalf("concurrent writers hit put errors: %+v", st)
+	}
+}
+
+// TestStoreUnwritableDir proves write failures are silent: results still
+// flow, errors are only counted. A regular file stands in for the cache
+// directory (unlike chmod, it blocks root too).
+func TestStoreUnwritableDir(t *testing.T) {
+	dir := t.TempDir()
+	blocked := filepath.Join(dir, "cache")
+	if err := os.WriteFile(blocked, []byte("not a directory"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(blocked, Options{Version: "v", Mode: ReadWrite}); err == nil {
+		t.Fatal("Open(ReadWrite) on a non-directory must fail")
+	}
+	// ReadOnly opens fine and treats everything as a miss.
+	s, err := Open(blocked, Options{Version: "v", Mode: ReadOnly})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got payload
+	if s.Get("space", testKey(1), &got) {
+		t.Fatal("read-only store over a non-directory served a hit")
+	}
+
+	// A store whose directory is swept away mid-run drops writes silently.
+	gone := open(t, filepath.Join(dir, "gone"), Options{})
+	if err := os.RemoveAll(filepath.Join(dir, "gone")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "gone"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	gone.Put("space", testKey(1), testPayload(1))
+	gone.Flush()
+	if st := gone.Stats(); st.PutErrors != 1 || st.Puts != 0 {
+		t.Fatalf("blocked write not counted as PutError: %+v", st)
+	}
+}
+
+func TestStoreReadOnlyMode(t *testing.T) {
+	dir := t.TempDir()
+	rw := open(t, dir, Options{})
+	rw.Put("space", testKey(1), testPayload(1))
+	rw.Flush()
+
+	ro := open(t, dir, Options{Mode: ReadOnly})
+	var got payload
+	if !ro.Get("space", testKey(1), &got) {
+		t.Fatal("read-only store missed an existing entry")
+	}
+	ro.Put("space", testKey(2), testPayload(2))
+	ro.Flush()
+	if ro.Get("space", testKey(2), &got) {
+		t.Fatal("read-only store persisted a Put")
+	}
+	if st := ro.Stats(); st.PutSkipped != 1 || st.Puts != 0 {
+		t.Fatalf("read-only stats %+v, want 1 skipped put", st)
+	}
+}
+
+func TestStoreNilSafety(t *testing.T) {
+	var s *Store
+	var got payload
+	if s.Get("space", testKey(1), &got) {
+		t.Fatal("nil store hit")
+	}
+	s.Put("space", testKey(1), testPayload(1))
+	s.Flush()
+	if st := s.Stats(); st != (Stats{}) {
+		t.Fatalf("nil store stats %+v", st)
+	}
+	if ds, err := s.DiskStats(); err != nil || ds != (DiskStats{}) {
+		t.Fatalf("nil store disk stats %+v, %v", ds, err)
+	}
+	if n, b, err := s.Prune(); n != 0 || b != 0 || err != nil {
+		t.Fatal("nil store prune did something")
+	}
+	if s.Dir() != "" || s.Version() != "" {
+		t.Fatal("nil store has identity")
+	}
+}
+
+// TestStoreSpacesIsolate proves one key in two spaces names two entries.
+func TestStoreSpacesIsolate(t *testing.T) {
+	s := open(t, t.TempDir(), Options{})
+	s.Put("a", testKey(1), testPayload(1))
+	s.Put("b", testKey(1), testPayload(2))
+	s.Flush()
+	var got payload
+	if !s.Get("a", testKey(1), &got) || got.A != 1 {
+		t.Fatal("space a lost its entry")
+	}
+	if !s.Get("b", testKey(1), &got) || got.A != 2 {
+		t.Fatal("space b lost its entry")
+	}
+}
+
+// TestStoreTempLeftovers proves crashed writers' temp files are invisible to
+// reads, reported by DiskStats, and reclaimed by Prune.
+func TestStoreTempLeftovers(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{})
+	s.Put("space", testKey(1), testPayload(1))
+	s.Flush()
+	leftover := filepath.Join(dir, "space", tmpPrefix+"crashed")
+	if err := os.WriteFile(leftover, []byte("partial write"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := s.DiskStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.TempFiles != 1 || ds.Entries != 1 {
+		t.Fatalf("disk stats %+v, want 1 temp file + 1 entry", ds)
+	}
+	removed, _, err := s.Prune()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 1 {
+		t.Fatalf("Prune removed %d files, want the 1 temp leftover", removed)
+	}
+	if _, err := os.Stat(leftover); !os.IsNotExist(err) {
+		t.Fatal("temp leftover survived Prune")
+	}
+}
+
+func TestBuildIdentityDeterministic(t *testing.T) {
+	a, b := BuildIdentity(), BuildIdentity()
+	if a == "" || a != b {
+		t.Fatalf("BuildIdentity unstable: %q vs %q", a, b)
+	}
+}
+
+// Benchmark sanity: the hot path should not explode allocation-wise, but the
+// store is off the simulation hot path, so this is informational only.
+func BenchmarkStoreGetHit(b *testing.B) {
+	dir := b.TempDir()
+	s, err := Open(dir, Options{Version: "v"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.Put("space", testKey(1), testPayload(1))
+	s.Flush()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var got payload
+		if !s.Get("space", testKey(1), &got) {
+			b.Fatal("miss")
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package store
+
+import "runtime/debug"
+
+// fallbackIdentity keys builds with no usable build info — notably `go test`
+// binaries, which carry no VCS stamp. It is deterministic so tests sharing a
+// directory interoperate, and distinct from any real revision string so a
+// test-populated cache never shadows a released binary's entries.
+const fallbackIdentity = "dev"
+
+// BuildIdentity derives the code-identity component of a store version from
+// the running binary's build info: the VCS revision (plus a dirty marker)
+// when the binary was built from a checkout, else the module version, else
+// a deterministic fallback. Callers compose it with their own schema
+// fingerprint; nothing is hand-bumped.
+func BuildIdentity() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return fallbackIdentity
+	}
+	var revision, modified string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			revision = s.Value
+		case "vcs.modified":
+			modified = s.Value
+		}
+	}
+	if revision != "" {
+		if modified == "true" {
+			return revision + "+dirty"
+		}
+		return revision
+	}
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		return v
+	}
+	return fallbackIdentity
+}

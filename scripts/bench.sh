@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # bench.sh — run the benchmark suite and the full experiment catalogue, and
-# emit a machine-readable snapshot (BENCH_8.json by default).
+# emit a machine-readable snapshot (BENCH_9.json by default).
 #
 # The root package's Benchmark* functions replay whole catalogue experiments,
 # so they run at ROOT_BENCHTIME (default 1x: one full iteration each). The
@@ -14,6 +14,12 @@
 # isolated arrival/admission path — and fails the run outright if the
 # admission hot path reports a nonzero allocs/op (its zero-allocation
 # steady state is also pinned by TestSteadyStateAllocFree).
+#
+# The result-store section replays -exp all twice against one fresh cache
+# directory: cold (populating the persistent content-addressed store) and
+# warm (served from it). The outputs must be byte-identical to each other
+# and to the uncached run, and the warm speedup is gated at >= 5x — the
+# store's whole reason to exist; a regression below that fails the run.
 #
 # The multi-device scaling sections re-run the explicit simulation at
 # ParWorkers 0 (sequential single engine) and 2/4/8 (conservative parallel
@@ -50,7 +56,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out=${1:-BENCH_8.json}
+out=${1:-BENCH_9.json}
 root_benchtime=${ROOT_BENCHTIME:-1x}
 micro_benchtime=${MICRO_BENCHTIME:-1000x}
 scaling_benchtime=${SCALING_BENCHTIME:-3x}
@@ -168,6 +174,26 @@ end=$(date +%s.%N)
 exp_all_seconds=$(awk -v a="$start" -v b="$end" 'BEGIN { printf "%.3f", b - a }')
 echo "-exp all -j 1: ${exp_all_seconds}s ($(wc -l <"$workdir/all.txt") output lines)"
 
+echo "== result store: cold vs warm -exp all -j 1 =="
+cache_dir="$workdir/rcache"
+start=$(date +%s.%N)
+"$workdir/t3sim" -exp all -j 1 -cache-dir "$cache_dir" >"$workdir/all_cold.txt"
+end=$(date +%s.%N)
+store_cold_seconds=$(awk -v a="$start" -v b="$end" 'BEGIN { printf "%.3f", b - a }')
+start=$(date +%s.%N)
+"$workdir/t3sim" -exp all -j 1 -cache-dir "$cache_dir" >"$workdir/all_warm.txt"
+end=$(date +%s.%N)
+store_warm_seconds=$(awk -v a="$start" -v b="$end" 'BEGIN { printf "%.3f", b - a }')
+cmp "$workdir/all_cold.txt" "$workdir/all_warm.txt"
+cmp "$workdir/all.txt" "$workdir/all_warm.txt"
+store_warm_speedup=$(awk -v c="$store_cold_seconds" -v w="$store_warm_seconds" \
+    'BEGIN { printf "%.1f", c / w }')
+if ! awk -v c="$store_cold_seconds" -v w="$store_warm_seconds" 'BEGIN { exit !(c / w >= 5) }'; then
+    echo "warm -exp all only ${store_warm_speedup}x faster than cold (want >= 5x)" >&2
+    exit 1
+fi
+echo "cold ${store_cold_seconds}s, warm ${store_warm_seconds}s (${store_warm_speedup}x, byte-identical to the uncached run)"
+
 go_version=$(go env GOVERSION)
 
 awk -v go_version="$go_version" \
@@ -177,6 +203,9 @@ awk -v go_version="$go_version" \
     -v scaling64_benchtime="$scaling64_benchtime" \
     -v scaling_count="$scaling_count" \
     -v exp_all_seconds="$exp_all_seconds" \
+    -v store_cold_seconds="$store_cold_seconds" \
+    -v store_warm_seconds="$store_warm_seconds" \
+    -v store_warm_speedup="$store_warm_speedup" \
     -v seq_ns="$seq_ns" -v w2_ns="$w2_ns" -v w4_ns="$w4_ns" -v w8_ns="$w8_ns" \
     -v seq64_ns="$seq64_ns" -v w2_64_ns="$w2_64_ns" \
     -v w4_64_ns="$w4_64_ns" -v w8_64_ns="$w8_64_ns" \
@@ -220,6 +249,11 @@ END {
     printf "  \"root_benchtime\": \"%s\",\n", root_benchtime
     printf "  \"micro_benchtime\": \"%s\",\n", micro_benchtime
     printf "  \"exp_all_j1_seconds\": %s,\n", exp_all_seconds
+    printf "  \"result_store\": {\n"
+    printf "    \"cold_exp_all_seconds\": %s,\n", store_cold_seconds
+    printf "    \"warm_exp_all_seconds\": %s,\n", store_warm_seconds
+    printf "    \"warm_speedup\": %s\n", store_warm_speedup
+    printf "  },\n"
     printf "  \"multi_device_scaling\": {\n"
     printf "    \"benchtime\": \"%s\",\n", scaling_benchtime
     printf "    \"best_of\": %s,\n", scaling_count
